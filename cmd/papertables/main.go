@@ -1,0 +1,208 @@
+// Command papertables regenerates every table and figure of the DAC-2001
+// paper from this reproduction. By default it runs everything at paper
+// scale; -quick switches to reduced sample counts, and individual
+// experiments can be selected with flags like -table1 or -fig5.
+//
+// Usage:
+//
+//	papertables [-quick] [-v] [-table1 ... -table7] [-fig1 ... -fig5]
+//
+// With no experiment flags, all experiments run in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"specwise/internal/core"
+	"specwise/internal/paper"
+	"specwise/internal/report"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample counts for a fast pass")
+	verbose := flag.Bool("v", false, "log optimizer progress to stderr")
+	var sel [12]*bool
+	names := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig1", "fig2", "fig3", "fig4", "fig5"}
+	for i, n := range names {
+		sel[i] = flag.Bool(n, false, "run only "+n+" (combinable)")
+	}
+	flag.Parse()
+
+	any := false
+	for _, s := range sel {
+		any = any || *s
+	}
+	want := func(i int) bool { return !any || *sel[i] }
+
+	cfg := paper.Full()
+	if *quick {
+		cfg = paper.Quick()
+	}
+	var log io.Writer
+	if *verbose {
+		log = os.Stderr
+	}
+	w := os.Stdout
+
+	var table1Res, table6Res *core.Result
+	runTimed := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Tables 1 and 2 share one optimization run; Table 7 needs 1 and 6.
+	if want(0) || want(1) || want(6) {
+		runTimed("table1", func() error {
+			res, err := paper.Table1(cfg, log)
+			if err != nil {
+				return err
+			}
+			table1Res = res
+			fmt.Fprintln(w, "=== Table 1: folded-cascode yield optimization (with constraints) ===")
+			report.OptimizationTrace(w, res)
+			return nil
+		})
+	}
+	if want(1) {
+		fmt.Fprintln(w, "=== Table 2: improvement between iterations (folded-cascode) ===")
+		last := len(table1Res.Iterations) - 1
+		fmt.Fprintf(w, "(comparing iteration 1 to %d)\n", last)
+		rows := paper.Table2(table1Res, 1, last)
+		fmt.Fprintf(w, "%-8s %16s %16s %12s %12s\n", "Perf.", "dmu/|mu-fb|", "dsigma/sigma", "sigma(1)", fmt.Sprintf("sigma(%d)", last))
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-8s %15.1f%% %15.1f%% %12.3g %12.3g\n", r.Spec, 100*r.DMuRel, 100*r.DSigmaRel, r.SigA, r.SigB)
+		}
+		fmt.Fprintln(w)
+	}
+	if want(2) {
+		runTimed("table3", func() error {
+			res, err := paper.Table3(cfg, log)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Table 3: ablation without functional constraints ===")
+			report.OptimizationTrace(w, res)
+			return nil
+		})
+	}
+	if want(3) {
+		runTimed("table4", func() error {
+			res, err := paper.Table4(cfg, log)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Table 4: ablation with nominal-point linearization ===")
+			report.OptimizationTrace(w, res)
+			return nil
+		})
+	}
+	if want(4) {
+		runTimed("table5", func() error {
+			entries, err := paper.Table5(5)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Table 5: mismatch measure ranking at the initial design ===")
+			fmt.Fprintf(w, "%-5s %-6s %-12s %-12s %8s\n", "Rank", "Spec", "Param k", "Param l", "m_kl")
+			for _, e := range entries {
+				fmt.Fprintf(w, "P%-4d %-6s %-12s %-12s %8.3f\n", e.Rank, e.Spec, e.ParamK, e.ParamL, e.Measure)
+			}
+			return nil
+		})
+	}
+	if want(5) || want(6) {
+		runTimed("table6", func() error {
+			res, err := paper.Table6(cfg, log)
+			if err != nil {
+				return err
+			}
+			table6Res = res
+			fmt.Fprintln(w, "=== Table 6: Miller opamp (global variations only) ===")
+			report.OptimizationTrace(w, res)
+			return nil
+		})
+	}
+	if want(6) {
+		fmt.Fprintln(w, "=== Table 7: computational effort ===")
+		fmt.Fprintf(w, "%-16s %14s %16s\n", "Circuit", "# Simulations", "# Constraint DC")
+		fmt.Fprintf(w, "%-16s %14d %16d\n", "Folded-Cascode", table1Res.Simulations, table1Res.ConstraintSims)
+		fmt.Fprintf(w, "%-16s %14d %16d\n", "Miller", table6Res.Simulations, table6Res.ConstraintSims)
+		fmt.Fprintln(w)
+	}
+	if want(7) {
+		runTimed("fig1", func() error {
+			sf, err := paper.Fig1(13)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Figure 1: CMRR over the critical mismatch pair ===")
+			printSurface(w, sf)
+			return nil
+		})
+	}
+	if want(8) {
+		fmt.Fprintln(w, "=== Figure 2: selector function Phi ===")
+		printCurve(w, paper.Fig2(33))
+	}
+	if want(9) {
+		fmt.Fprintln(w, "=== Figure 3: robustness weight Eta ===")
+		printCurve(w, paper.Fig3(33))
+	}
+	if want(10) {
+		runTimed("fig4", func() error {
+			a0, margin, err := paper.Fig4(25)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Figure 4: A0 over the feasibility region ===")
+			printCurve(w, a0)
+			printCurve(w, margin)
+			return nil
+		})
+	}
+	if want(11) {
+		runTimed("fig5", func() error {
+			c, err := paper.Fig5(41, cfg.ModelSamples)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, "=== Figure 5: yield estimate over one design parameter ===")
+			printCurve(w, c)
+			return nil
+		})
+	}
+}
+
+func printCurve(w io.Writer, c *paper.Curve) {
+	fmt.Fprintf(w, "# %s\n", c.Label)
+	for i := range c.X {
+		fmt.Fprintf(w, "%12.5g %12.5g\n", c.X[i], c.Y[i])
+	}
+	fmt.Fprintln(w)
+}
+
+func printSurface(w io.Writer, s *paper.Surface) {
+	fmt.Fprintf(w, "# %s\n", s.Label)
+	fmt.Fprintf(w, "%8s", "")
+	for _, y := range s.Y {
+		fmt.Fprintf(w, "%9.2f", y)
+	}
+	fmt.Fprintln(w)
+	for i, x := range s.X {
+		fmt.Fprintf(w, "%8.2f", x)
+		for j := range s.Y {
+			fmt.Fprintf(w, "%9.2f", s.Z[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

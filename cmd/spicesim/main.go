@@ -1,0 +1,225 @@
+// Command spicesim is a small standalone driver for the embedded circuit
+// simulator: it reads a SPICE-like netlist and runs operating-point, AC
+// or transient analyses.
+//
+// Usage:
+//
+//	spicesim [-op] [-ac fstart,fstop[,pts/dec]] [-tran step,stop]
+//	         [-dc source,start,stop[,points]] [-probe node] file.cir
+//
+// With no analysis flags, the operating point is printed. Reading from
+// standard input is selected with "-" as the file name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/cmplx"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"specwise/internal/netlist"
+	"specwise/internal/spice"
+)
+
+func main() {
+	op := flag.Bool("op", false, "print the DC operating point (default when no analysis is selected)")
+	acSpec := flag.String("ac", "", "AC sweep: fstart,fstop[,pointsPerDecade]")
+	tranSpec := flag.String("tran", "", "transient: step,stop (seconds)")
+	dcSpec := flag.String("dc", "", "DC sweep: source,start,stop[,points]")
+	probe := flag.String("probe", "", "node to report in AC/transient analyses")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: spicesim [flags] file.cir")
+		os.Exit(2)
+	}
+	var src io.Reader
+	if flag.Arg(0) == "-" {
+		src = os.Stdin
+	} else {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	deck, err := netlist.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if deck.Title != "" {
+		fmt.Printf("* %s\n", deck.Title)
+	}
+	fmt.Printf("* %s\n\n", deck.Circuit)
+
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		fatal(err)
+	}
+
+	runAny := false
+	if *acSpec != "" {
+		runAC(deck, dc, *acSpec, *probe)
+		runAny = true
+	}
+	if *tranSpec != "" {
+		runTran(deck, *tranSpec, *probe)
+		runAny = true
+	}
+	if *dcSpec != "" {
+		runDC(deck, *dcSpec, *probe)
+		runAny = true
+	}
+	if *op || !runAny {
+		printOP(deck, dc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spicesim:", err)
+	os.Exit(1)
+}
+
+func printOP(deck *netlist.Deck, dc *spice.DCResult) {
+	fmt.Println("Operating point:")
+	names := make([]string, 0, len(deck.Nodes))
+	for n := range deck.Nodes {
+		if n != spice.Ground && !strings.EqualFold(n, "gnd") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  v(%-8s) = %12.6g V\n", n, dc.Voltage(deck.Nodes[n]))
+	}
+	if len(deck.Mosfets) > 0 {
+		fmt.Println("\nMOSFET operating points:")
+		fmt.Printf("  %-8s %12s %10s %10s %10s %10s %-10s\n",
+			"device", "Id [A]", "Vgs [V]", "Vds [V]", "gm [S]", "gds [S]", "region")
+		mnames := make([]string, 0, len(deck.Mosfets))
+		for n := range deck.Mosfets {
+			mnames = append(mnames, n)
+		}
+		sort.Strings(mnames)
+		for _, n := range mnames {
+			opInfo := deck.Mosfets[n].Op(dc.X)
+			region := [...]string{"cutoff", "triode", "saturation"}[opInfo.Region]
+			fmt.Printf("  %-8s %12.4g %10.4f %10.4f %10.4g %10.4g %-10s\n",
+				n, opInfo.ID, opInfo.VGS, opInfo.VDS, opInfo.Gm, opInfo.Gds, region)
+		}
+	}
+}
+
+func runAC(deck *netlist.Deck, dc *spice.DCResult, spec, probe string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) < 2 {
+		fatal(fmt.Errorf("bad -ac spec %q", spec))
+	}
+	fStart := parseF(parts[0])
+	fStop := parseF(parts[1])
+	ppd := 10
+	if len(parts) > 2 {
+		p, err := strconv.Atoi(parts[2])
+		if err != nil || p < 1 {
+			fatal(fmt.Errorf("bad points-per-decade %q", parts[2]))
+		}
+		ppd = p
+	}
+	node := probeNode(deck, probe)
+	bode, err := deck.Circuit.ACSweep(dc, node, fStart, fStop, ppd)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("AC sweep of v(%s):\n", probe)
+	fmt.Printf("  %12s %12s %12s\n", "f [Hz]", "mag [dB]", "phase [deg]")
+	for i, f := range bode.Freq {
+		fmt.Printf("  %12.5g %12.4f %12.4f\n", f, bode.MagDB(i),
+			cmplx.Phase(bode.H[i])*180/math.Pi)
+	}
+	if fu, _, ok := bode.UnityCrossing(); ok {
+		pm, _ := bode.PhaseMarginDeg()
+		fmt.Printf("  unity crossing at %.4g Hz, phase margin %.2f deg\n", fu, pm)
+	}
+	fmt.Println()
+}
+
+func runTran(deck *netlist.Deck, spec, probe string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fatal(fmt.Errorf("bad -tran spec %q", spec))
+	}
+	step := parseF(parts[0])
+	stop := parseF(parts[1])
+	node := probeNode(deck, probe)
+	res, err := deck.Circuit.Tran(spice.TranOptions{Step: step, Stop: stop})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Transient of v(%s):\n", probe)
+	fmt.Printf("  %12s %12s\n", "t [s]", "v [V]")
+	v := res.Voltage(node)
+	// Thin the printout to at most ~200 rows.
+	stride := len(res.Time)/200 + 1
+	for k := 0; k < len(res.Time); k += stride {
+		fmt.Printf("  %12.6g %12.6g\n", res.Time[k], v[k])
+	}
+	fmt.Println()
+}
+
+func runDC(deck *netlist.Deck, spec, probe string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) < 3 {
+		fatal(fmt.Errorf("bad -dc spec %q", spec))
+	}
+	src, ok := deck.Circuit.FindDevice(strings.TrimSpace(parts[0])).(*spice.VSource)
+	if !ok || src == nil {
+		fatal(fmt.Errorf("-dc source %q is not a V element", parts[0]))
+	}
+	start, stop := parseF(parts[1]), parseF(parts[2])
+	points := 51
+	if len(parts) > 3 {
+		p, err := strconv.Atoi(strings.TrimSpace(parts[3]))
+		if err != nil || p < 2 {
+			fatal(fmt.Errorf("bad point count %q", parts[3]))
+		}
+		points = p
+	}
+	node := probeNode(deck, probe)
+	res, err := deck.Circuit.DCSweep(src, start, stop, points, spice.DCOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("DC sweep of %s, observing v(%s):\n", src.Name(), probe)
+	fmt.Printf("  %12s %12s\n", src.Name()+" [V]", "v [V]")
+	v := res.Voltage(node)
+	for k := range res.Values {
+		fmt.Printf("  %12.6g %12.6g\n", res.Values[k], v[k])
+	}
+	fmt.Println()
+}
+
+func probeNode(deck *netlist.Deck, probe string) int {
+	if probe == "" {
+		fatal(fmt.Errorf("-probe node required for this analysis"))
+	}
+	node, ok := deck.Nodes[probe]
+	if !ok {
+		fatal(fmt.Errorf("unknown probe node %q", probe))
+	}
+	return node
+}
+
+func parseF(s string) float64 {
+	v, err := netlist.ParseValue(strings.TrimSpace(s))
+	if err != nil {
+		fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,43 @@
+// Netlist-defined problem: the optimizer without writing any Go. The
+// circuit lives in csamp.cir (a SPICE-like netlist), the yield problem in
+// csamp.json (design parameters, process statistics, specs, operating
+// ranges); this program just loads and runs them. The same pair of files
+// works with the CLI:
+//
+//	go run ./cmd/yieldopt -spec examples/netlistproblem/csamp.json
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"specwise"
+	"specwise/internal/report"
+	"specwise/internal/yieldspec"
+)
+
+func main() {
+	dir := "examples/netlistproblem"
+	if _, err := os.Stat(filepath.Join(dir, "csamp.json")); err != nil {
+		dir = "." // also runnable from inside the example directory
+	}
+	problem, err := yieldspec.Load(filepath.Join(dir, "csamp.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(specwise.DescribeProblem(problem))
+
+	result, err := specwise.Optimize(problem, specwise.Options{
+		ModelSamples:  5000,
+		VerifySamples: 200,
+		MaxIterations: 2,
+		Seed:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	report.OptimizationTrace(os.Stdout, result)
+}

@@ -1,0 +1,49 @@
+// Signoff: after yield optimization reports "0 bad samples out of
+// 10,000", how safe is the design really? Plain Monte Carlo cannot tell
+// 1e-4 from 1e-9. This example optimizes the OTA, then quantifies each
+// spec's true failure probability by worst-case-guided importance
+// sampling — the quantitative companion to the paper's worst-case
+// distances (a spec at β has failure rate ≈ Φ(−β)).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specwise"
+)
+
+func main() {
+	problem := specwise.OTA()
+	result, err := specwise.Optimize(problem, specwise.Options{
+		ModelSamples:  5000,
+		VerifySamples: 300,
+		MaxIterations: 2,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := result.Iterations[len(result.Iterations)-1]
+	fmt.Printf("optimized yield (300-sample MC): %.1f%%\n", 100*last.MCYield)
+
+	for _, point := range []struct {
+		label string
+		d     []float64
+	}{
+		{"initial design", problem.InitialDesign()},
+		{"final design", result.FinalDesign},
+	} {
+		fmt.Printf("\nper-spec failure probabilities at the %s:\n", point.label)
+		fmt.Printf("%-8s %8s %14s %14s\n", "spec", "beta", "P(fail)", "std err")
+		for _, s := range problem.Specs {
+			rf, err := specwise.EstimateRareFailure(problem, point.d, s.Name, 1500, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %8.2f %14.3e %14.1e\n", rf.Spec, rf.Beta, rf.PFail, rf.StdErr)
+		}
+	}
+	fmt.Println("\n(beta is the worst-case distance in sigma; P(fail) ≈ Phi(-beta)" +
+		" for linear specs — failure rates far below Monte-Carlo resolution)")
+}

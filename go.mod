@@ -1,0 +1,3 @@
+module specwise
+
+go 1.22

@@ -1,0 +1,61 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"specwise/internal/linmodel"
+	"specwise/internal/rng"
+	"specwise/internal/wcd"
+)
+
+// TestDebugIter1Models inspects the spec models at the design reached
+// after the first optimizer iteration of the Table-1 run; it exists to
+// diagnose model poisoning and stays cheap enough to keep.
+func TestDebugIter1Models(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := FoldedCascodeProblem()
+	d := []float64{97.1, 1.73, 38.3, 2, 50, 57.1, 57.1, 148}
+
+	zeroS := make([]float64, p.NumStat())
+	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcs := make([]*wcd.WorstCase, p.NumSpecs())
+	for i := range p.Specs {
+		i := i
+		theta := thetaRes.PerSpec[i]
+		fn := func(s []float64) (float64, error) {
+			vals, err := p.Eval(d, s, theta)
+			if err != nil {
+				return 0, err
+			}
+			return p.Specs[i].Margin(vals[i]), nil
+		}
+		wc, err := wcd.FindWorstCase(fn, p.NumStat(), wcd.Options{Seed: 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcs[i] = wc
+		t.Logf("%-6s theta=%v marginNom=%+8.3f beta=%+7.3f conv=%v |swc|=%.3f marginWc=%+.4f evals=%d",
+			p.Specs[i].Name, theta, wc.MarginNominal, wc.Beta, wc.Converged, wc.S.Norm2(), wc.MarginWc, wc.Evals)
+	}
+
+	models, err := linmodel.Build(p, d, wcs, thetaRes.PerSpec, linmodel.BuildOptions{MirrorSpecs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := linmodel.NewEstimator(models, p.NumStat(), 2000, rng.New(9))
+	_, bad := est.Count(d)
+	for _, m := range models {
+		gnorm := 0.0
+		for _, g := range m.GradS {
+			gnorm += g * g
+		}
+		t.Logf("model spec=%-6s mirror=%-5v Margin0=%+9.3f |GradS|=%8.3f badForSpec=%d",
+			p.Specs[m.Spec].Name, m.Mirror, m.Margin0, math.Sqrt(gnorm), bad[m.Spec])
+	}
+}

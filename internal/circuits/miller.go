@@ -1,0 +1,157 @@
+package circuits
+
+import (
+	"specwise/internal/core"
+	"specwise/internal/spice"
+	"specwise/internal/variation"
+)
+
+// Miller opamp fixed sizing constants (SI units).
+const (
+	mlL1 = 2e-6 // input pair
+	mlL3 = 2e-6 // PMOS mirror
+	mlL5 = 2e-6 // tail
+	mlL6 = 2e-6 // output PMOS
+	mlL7 = 2e-6 // output sink
+	mlCL = 10e-12
+	mlRz = 1.5e3
+)
+
+// mlDesign is the decoded design vector of the Miller opamp.
+type mlDesign struct {
+	w1, w3, w6, w7, wt, cc float64 // SI (cc in farads)
+}
+
+func mlDecode(d []float64) mlDesign {
+	return mlDesign{
+		w1: d[0] * um, w3: d[1] * um, w6: d[2] * um,
+		w7: d[3] * um, wt: d[4] * um, cc: d[5] * 1e-12,
+	}
+}
+
+// MillerVariations returns the statistical model for the Miller opamp
+// runs: global process variations only, as in the paper's second example.
+func MillerVariations() *variation.Model {
+	return &variation.Model{
+		Globals: []variation.Global{
+			{Name: "g.dVthN", Kind: variation.VthShift, Polarity: +1, Sigma: 0.015},
+			{Name: "g.dVthP", Kind: variation.VthShift, Polarity: -1, Sigma: 0.015},
+			{Name: "g.dBetaN", Kind: variation.BetaRel, Polarity: +1, Sigma: 0.025},
+			{Name: "g.dBetaP", Kind: variation.BetaRel, Polarity: -1, Sigma: 0.025},
+		},
+	}
+}
+
+// buildMiller constructs the two-stage (Miller-compensated) opamp
+// testbench. The non-inverting input is the M2 gate; the feedback element
+// closes the loop into the M1 gate at DC. theta = [temperature °C, VDD V].
+func buildMiller(g mlDesign, deltas []variation.Delta, theta []float64) *testbench {
+	tempC, vdd := theta[0], theta[1]
+	nmos := adjustTemp(spice.DefaultNMOS(), tempC)
+	pmos := adjustTemp(spice.DefaultPMOS(), tempC)
+
+	c := spice.New()
+	nVdd := c.Node("vdd")
+	nInp := c.Node("inp") // inverting input (feedback target)
+	nInn := c.Node("inn") // non-inverting input (AC drive)
+	nTail := c.Node("tail")
+	nN1 := c.Node("n1")
+	nO1 := c.Node("o1")
+	nOut := c.Node("out")
+	nX := c.Node("x") // compensation network midpoint
+	nVbn := c.Node("vbn")
+	gnd := c.Node(spice.Ground)
+	vcm := vdd / 2
+
+	vddSrc := spice.NewVSource("VDD", nVdd, gnd, vdd, 0)
+	drive := spice.NewVSource("VINN", nInn, gnd, vcm, 0)
+	fb := spice.NewVCVS("EFB", nInp, gnd, nOut, gnd, 1)
+	c.Add(vddSrc)
+	c.Add(drive)
+	c.Add(fb)
+	c.Add(spice.NewVSource("VBN", nVbn, gnd, 1.15, 0))
+
+	mk := func(name string, d, gt, s, b, pol int, w, l float64, p spice.MosParams) *spice.Mosfet {
+		m := spice.NewMosfet(name, d, gt, s, b, pol, w, l, p)
+		c.Add(m)
+		return m
+	}
+
+	m1 := mk("M1", nN1, nInp, nTail, gnd, +1, g.w1, mlL1, nmos)
+	m2 := mk("M2", nO1, nInn, nTail, gnd, +1, g.w1, mlL1, nmos)
+	m3 := mk("M3", nN1, nN1, nVdd, nVdd, -1, g.w3, mlL3, pmos)
+	m4 := mk("M4", nO1, nN1, nVdd, nVdd, -1, g.w3, mlL3, pmos)
+	m5 := mk("M5", nTail, nVbn, gnd, gnd, +1, g.wt, mlL5, nmos)
+	m6 := mk("M6", nOut, nO1, nVdd, nVdd, -1, g.w6, mlL6, pmos)
+	m7 := mk("M7", nOut, nVbn, gnd, gnd, +1, g.w7, mlL7, nmos)
+
+	c.Add(spice.NewCapacitor("CC", nO1, nX, g.cc))
+	c.Add(spice.NewResistor("RZ", nX, nOut, mlRz))
+	c.Add(spice.NewCapacitor("CL", nOut, gnd, mlCL))
+
+	tb := &testbench{
+		ckt: c, out: nOut, drive: drive, fb: fb,
+		vddSrc: vddSrc, vdd: vdd,
+		tail: m5, slewCap: g.cc,
+		mosfets: []*spice.Mosfet{m1, m2, m3, m4, m5, m6, m7},
+	}
+	applyDeltas(tb.mosfets, deltas)
+	return tb
+}
+
+// MillerProblem builds the core.Problem for the Miller opamp with global
+// process variations only — the circuit of the paper's Table 6.
+func MillerProblem() *core.Problem {
+	model := MillerVariations()
+	specs := []core.Spec{
+		{Name: "A0", Unit: "dB", Kind: core.GE, Bound: 80},
+		{Name: "ft", Unit: "MHz", Kind: core.GE, Bound: 1.3},
+		{Name: "PM", Unit: "°", Kind: core.GE, Bound: 60},
+		{Name: "SRp", Unit: "V/µs", Kind: core.GE, Bound: 3},
+		{Name: "Power", Unit: "mW", Kind: core.LE, Bound: 1.3},
+	}
+	design := []core.Param{
+		{Name: "W1", Unit: "µm", Init: 20, Lo: 5, Hi: 200, LogScale: true},
+		{Name: "W3", Unit: "µm", Init: 20, Lo: 5, Hi: 200, LogScale: true},
+		{Name: "W6", Unit: "µm", Init: 115, Lo: 10, Hi: 600, LogScale: true},
+		{Name: "W7", Unit: "µm", Init: 12, Lo: 2, Hi: 300, LogScale: true},
+		{Name: "WT", Unit: "µm", Init: 4, Lo: 2, Hi: 100, LogScale: true},
+		{Name: "CC", Unit: "pF", Init: 6, Lo: 1, Hi: 20, LogScale: true},
+	}
+	theta := []core.OpRange{
+		{Name: "T", Unit: "°C", Nominal: 27, Lo: -40, Hi: 125},
+		{Name: "VDD", Unit: "V", Nominal: 3.3, Lo: 3.0, Hi: 3.6},
+	}
+
+	eval := func(d, s, th []float64) ([]float64, error) {
+		g := mlDecode(d)
+		deltas := model.Physical(s, func(string) (float64, float64) { return 0, 0 })
+		tb := buildMiller(g, deltas, th)
+		p, _ := tb.evaluate(1, 1e9)
+		return []float64{p.A0dB, p.FtMHz, p.PMdeg, p.SRVus, p.PowerMW}, nil
+	}
+
+	zeroS := make([]float64, model.Dim())
+	constraints := func(d []float64) ([]float64, error) {
+		g := mlDecode(d)
+		tb := buildMiller(g, model.Physical(zeroS, func(string) (float64, float64) { return 0, 0 }), []float64{27, 3.3})
+		dc, err := tb.ckt.DC(spice.DCOptions{})
+		if err != nil {
+			return failedConstraints(2 * len(tb.mosfets)), nil
+		}
+		return mosConstraints(tb.mosfets, dc.X), nil
+	}
+
+	tb0 := buildMiller(mlDecode([]float64{20, 20, 115, 12, 4, 6}), nil, []float64{27, 3.3})
+
+	return &core.Problem{
+		Name:            "miller",
+		Specs:           specs,
+		Design:          design,
+		StatNames:       model.Names(),
+		Theta:           theta,
+		ConstraintNames: mosConstraintNames(tb0.mosfets),
+		Eval:            eval,
+		Constraints:     constraints,
+	}
+}

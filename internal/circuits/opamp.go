@@ -1,0 +1,172 @@
+package circuits
+
+import (
+	"math"
+
+	"specwise/internal/spice"
+	"specwise/internal/variation"
+)
+
+// Performances bundles the extracted opamp metrics in reporting units.
+type Performances struct {
+	A0dB    float64 // low-frequency open-loop gain
+	FtMHz   float64 // unity-gain frequency
+	PMdeg   float64 // phase margin
+	CMRRdB  float64 // common-mode rejection ratio at DC
+	SRVus   float64 // positive slew rate [V/µs]
+	PowerMW float64 // static supply power [mW]
+}
+
+// testbench is a built opamp circuit with the handles the evaluator needs.
+type testbench struct {
+	ckt     *spice.Circuit
+	out     int            // observed output node
+	drive   *spice.VSource // AC drive at the non-inverting input
+	fb      *spice.VCVS    // DC-closing feedback element at the inverting input
+	vddSrc  *spice.VSource
+	vdd     float64
+	tail    *spice.Mosfet // nil when the tail is an ideal source
+	tailI   float64       // ideal tail current when tail == nil
+	slewCap float64       // capacitance limiting the slew rate (CL or Cc)
+	mosfets []*spice.Mosfet
+}
+
+// adjustTemp applies first-order temperature dependence to a model card.
+func adjustTemp(p spice.MosParams, tempC float64) spice.MosParams {
+	return p.AtTemp(tempC)
+}
+
+// applyDeltas folds the physical statistical perturbations into the
+// matching MOSFET instances of the testbench.
+func applyDeltas(mosfets []*spice.Mosfet, deltas []variation.Delta) {
+	for _, d := range deltas {
+		for _, m := range mosfets {
+			if d.Device != "" {
+				if m.Name() != d.Device {
+					continue
+				}
+			} else if d.Polarity != 0 && m.Polarity != d.Polarity {
+				continue
+			}
+			switch d.Kind {
+			case variation.VthShift:
+				m.DVth += d.Value
+			case variation.BetaRel:
+				m.BetaScale *= 1 + d.Value
+			}
+			if d.Device != "" {
+				break
+			}
+		}
+	}
+}
+
+// failedPerf is the performance vector reported when the operating point
+// cannot be found: NaN everywhere. NaN fails every spec comparison, and
+// the analysis layers (worst-case search, model building, Monte Carlo)
+// treat it as "broken circuit" rather than as a differentiable value —
+// a finite penalty would poison finite-difference gradients instead.
+func failedPerf() Performances {
+	nan := math.NaN()
+	return Performances{
+		A0dB: nan, FtMHz: nan, PMdeg: nan, CMRRdB: nan,
+		SRVus: nan, PowerMW: nan,
+	}
+}
+
+// evaluate runs the shared opamp measurement flow: DC bias with the
+// feedback loop closed, an open-loop differential AC sweep (gain, unity
+// frequency, phase margin), a single common-mode AC point (CMRR), and
+// operating-point bookkeeping (slew rate, power).
+func (tb *testbench) evaluate(fStart, fStop float64) (Performances, bool) {
+	dc, err := tb.ckt.DC(spice.DCOptions{})
+	if err != nil {
+		return failedPerf(), false
+	}
+
+	// Open-loop differential response: drive the non-inverting input,
+	// hold the inverting input at AC ground through the loop-break.
+	tb.drive.AC = 1
+	tb.fb.ACMode = spice.VCVSACFixed
+	tb.fb.ACValue = 0
+	bode, err := tb.ckt.ACSweep(dc, tb.out, fStart, fStop, 8)
+	if err != nil {
+		return failedPerf(), false
+	}
+	a0 := bode.DCGainDB()
+	ftHz, _, okFt := bode.UnityCrossing()
+	pm, okPM := bode.PhaseMarginDeg()
+	if !okFt || !okPM {
+		// No unity crossing: the gain is below 0 dB from the start. Keep
+		// the reported ft graded (→ 0 as the gain collapses, continuous
+		// at the 0 dB boundary) so optimizer gradients stay informative
+		// instead of hitting a hard cliff.
+		ftHz = fStart * math.Pow(10, math.Min(a0, 0)/20)
+		pm = 0
+	}
+
+	// Common-mode response at the lowest frequency: both inputs driven.
+	tb.fb.ACValue = 1
+	acCM, err := tb.ckt.AC(dc, 2*math.Pi*fStart)
+	if err != nil {
+		return failedPerf(), false
+	}
+	acmMag := cmplxAbs(acCM.Voltage(tb.out))
+	cmrr := a0 - 20*math.Log10(math.Max(acmMag, 1e-12))
+
+	// Slew rate: tail current into the slew-limiting capacitance.
+	itail := tb.tailI
+	if tb.tail != nil {
+		itail = tb.tail.Op(dc.X).ID
+	}
+	sr := itail / tb.slewCap // V/s
+
+	power := math.Abs(dc.BranchCurrent(tb.vddSrc.Branch())) * tb.vdd
+
+	return Performances{
+		A0dB:    a0,
+		FtMHz:   ftHz / 1e6,
+		PMdeg:   pm,
+		CMRRdB:  cmrr,
+		SRVus:   sr / 1e6,
+		PowerMW: power * 1e3,
+	}, true
+}
+
+func cmplxAbs(c complex128) float64 { return math.Hypot(real(c), imag(c)) }
+
+// mosConstraints emits the functional sizing constraints for a converged
+// DC point: every transistor saturated with margin and conducting with a
+// minimum gate overdrive. These are the technology-dependent "sizing
+// rules" of the paper's Sec. 5.1 (ref. [13]).
+func mosConstraints(mosfets []*spice.Mosfet, x []float64) []float64 {
+	const (
+		satMargin = 0.05 // required VDS − Vov headroom [V]
+		vonMargin = 0.03 // required gate overdrive [V]
+	)
+	out := make([]float64, 0, 2*len(mosfets))
+	for _, m := range mosfets {
+		op := m.Op(x)
+		out = append(out, op.SatMargin-satMargin, op.Vov-vonMargin)
+	}
+	return out
+}
+
+// mosConstraintNames matches mosConstraints ordering.
+func mosConstraintNames(mosfets []*spice.Mosfet) []string {
+	names := make([]string, 0, 2*len(mosfets))
+	for _, m := range mosfets {
+		names = append(names, m.Name()+".sat", m.Name()+".von")
+	}
+	return names
+}
+
+// failedConstraints is the penalty constraint vector for designs whose
+// operating point cannot be computed at all.
+func failedConstraints(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = -1e3
+	}
+	return out
+}

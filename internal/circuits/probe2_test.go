@@ -1,0 +1,74 @@
+package circuits
+
+import (
+	"testing"
+)
+
+// TestProbeFoldedCascodeSensitivity examines CMRR/ft sensitivity to input
+// pair mismatch and to the operating corners, which calibrates the
+// Table-1 reproduction.
+func TestProbeFoldedCascodeSensitivity(t *testing.T) {
+	p := FoldedCascodeProblem()
+	model := FoldedCascodeVariations()
+	d := p.InitialDesign()
+	th := p.NominalTheta()
+
+	idx1 := model.LocalIndex("M1.dVth")
+	idx2 := model.LocalIndex("M2.dVth")
+	idx3 := model.LocalIndex("M1.dBeta")
+	idx4 := model.LocalIndex("M2.dBeta")
+	idx5 := model.LocalIndex("M3.dVth")
+	idx6 := model.LocalIndex("M4.dVth")
+	if idx1 < 0 || idx2 < 0 {
+		t.Fatal("missing local params")
+	}
+
+	run := func(label string, s []float64, theta []float64) {
+		vals, err := p.Eval(d, s, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-28s A0=%7.2f ft=%7.2f CMRR=%8.2f SR=%7.2f P=%6.3f",
+			label, vals[0], vals[1], vals[2], vals[3], vals[4])
+	}
+
+	zero := make([]float64, p.NumStat())
+	run("nominal", zero, th)
+
+	for _, k := range []float64{0.5, 1, 2, 3} {
+		s := make([]float64, p.NumStat())
+		s[idx1], s[idx2] = k, -k
+		run("inpair dVth mismatch ±"+fmtF(k), s, th)
+	}
+	s := make([]float64, p.NumStat())
+	s[idx1], s[idx2] = 2, 2
+	run("inpair dVth common +2", s, th)
+
+	s = make([]float64, p.NumStat())
+	s[idx3], s[idx4] = 2, -2
+	run("inpair dBeta mismatch ±2", s, th)
+
+	s = make([]float64, p.NumStat())
+	s[idx5], s[idx6] = 2, -2
+	run("M3/M4 dVth mismatch ±2", s, th)
+
+	// Global shifts.
+	s = make([]float64, p.NumStat())
+	s[0], s[1] = 2, 2
+	run("global dVth +2", s, th)
+	s = make([]float64, p.NumStat())
+	s[2], s[3] = -2, -2
+	run("global dBeta -2", s, th)
+
+	// Operating corners.
+	for _, corner := range [][]float64{{-40, 3.0}, {-40, 3.6}, {125, 3.0}, {125, 3.6}, {27, 3.0}, {125, 3.3}} {
+		run("corner T/VDD", zero, corner)
+	}
+}
+
+func fmtF(f float64) string {
+	if f == 0.5 {
+		return "0.5"
+	}
+	return string(rune('0' + int(f)))
+}

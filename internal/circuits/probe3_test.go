@@ -1,0 +1,64 @@
+package circuits
+
+import "testing"
+
+// TestProbeMillerNominal guards the Miller opamp bias point and prints
+// performances at nominal and at the operating corners.
+func TestProbeMillerNominal(t *testing.T) {
+	p := MillerProblem()
+	d := p.InitialDesign()
+	s := make([]float64, p.NumStat())
+
+	for _, th := range [][]float64{{27, 3.3}, {-40, 3.0}, {-40, 3.6}, {125, 3.0}, {125, 3.6}} {
+		vals, err := p.Eval(d, s, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("T=%4.0f VDD=%.1f: A0=%7.2f ft=%6.2f PM=%6.2f SR=%6.2f P=%6.3f",
+			th[0], th[1], vals[0], vals[1], vals[2], vals[3], vals[4])
+	}
+
+	// Global variation excursions at nominal theta.
+	for _, sv := range [][]float64{{2, 0, 0, 0}, {-2, 0, 0, 0}, {0, 2, 0, 0}, {0, 0, -2, 0}, {0, 0, 0, -2}} {
+		vals, err := p.Eval(d, sv, p.NominalTheta())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("s=%v: A0=%7.2f ft=%6.2f PM=%6.2f SR=%6.2f P=%6.3f",
+			sv, vals[0], vals[1], vals[2], vals[3], vals[4])
+	}
+
+	cons, err := p.Constraints(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range p.ConstraintNames {
+		if cons[i] < 0 {
+			t.Errorf("constraint %s violated: %v", name, cons[i])
+		}
+	}
+}
+
+// TestProbeOTANominal guards the OTA bias point.
+func TestProbeOTANominal(t *testing.T) {
+	p := OTAProblem()
+	d := p.InitialDesign()
+	s := make([]float64, p.NumStat())
+	vals, err := p.Eval(d, s, p.NominalTheta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("OTA nominal: A0=%7.2f ft=%6.2f CMRR=%7.2f P=%6.3f", vals[0], vals[1], vals[2], vals[3])
+	cons, err := p.Constraints(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range p.ConstraintNames {
+		if cons[i] < 0 {
+			t.Errorf("constraint %s violated: %v", name, cons[i])
+		}
+	}
+	if vals[0] < 0 {
+		t.Fatal("OTA DC failed at nominal design")
+	}
+}

@@ -1,0 +1,27 @@
+package circuits
+
+import (
+	"testing"
+
+	"specwise/internal/core"
+	"specwise/internal/wcd"
+)
+
+func TestProbeMCFinalDesign(t *testing.T) {
+	p := FoldedCascodeProblem()
+	d := []float64{233, 1.24, 79.7, 2, 16, 67.4, 23.3, 292}
+	zeroS := make([]float64, p.NumStat())
+	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := core.VerifyMC(p, d, thetaRes.PerSpec, 500, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("yield %.3f [%.3f, %.3f]", mc.Estimate.Yield(), mc.Estimate.Lo, mc.Estimate.Hi)
+	for i, s := range p.Specs {
+		t.Logf("%-6s bad=%3d mean=%9.3f sigma=%8.3f margin(mean)=%+.3f",
+			s.Name, mc.BadPerSpec[i], mc.Moments[i].Mean(), mc.Moments[i].Sigma(), s.Margin(mc.Moments[i].Mean()))
+	}
+}

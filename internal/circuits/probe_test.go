@@ -1,0 +1,39 @@
+package circuits
+
+import (
+	"testing"
+)
+
+// TestProbeFoldedCascodeNominal prints the nominal performances; it guards
+// the bias point (all transistors saturated) that the whole evaluation
+// flow depends on.
+func TestProbeFoldedCascodeNominal(t *testing.T) {
+	p := FoldedCascodeProblem()
+	d := p.InitialDesign()
+	s := make([]float64, p.NumStat())
+	th := p.NominalTheta()
+
+	vals, err := p.Eval(d, s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range p.Specs {
+		t.Logf("%-6s = %10.4f %-5s (bound %v, margin %+.4f)",
+			spec.Name, vals[i], spec.Unit, spec.Bound, spec.Margin(vals[i]))
+	}
+
+	cons, err := p.Constraints(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range p.ConstraintNames {
+		status := "ok"
+		if cons[i] < 0 {
+			status = "VIOLATED"
+		}
+		t.Logf("constraint %-10s = %+8.4f  %s", name, cons[i], status)
+	}
+	if vals[0] < 0 {
+		t.Fatal("folded-cascode DC failed at nominal design")
+	}
+}

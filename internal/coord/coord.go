@@ -1,0 +1,324 @@
+// Package coord implements the feasibility-guided coordinate search of the
+// paper's Eq. 19: one design coordinate at a time, the sampled yield
+// estimate Ȳ is maximized exactly over the segment allowed by the design
+// box and the linearized functional constraints. Because every sample's
+// pass/fail condition is linear in the step α, each sample passes on an
+// interval of α values; a sweep over the interval endpoints finds the
+// globally best α for that coordinate without any grid.
+//
+// When the estimate ties (notably on the Ȳ = 0 plateaus of Fig. 5 where a
+// gradient would vanish), a concave secondary objective — the mean over
+// samples of the minimum model margin — breaks the tie, so the search
+// still moves toward the acceptance region from arbitrarily bad starts.
+package coord
+
+import (
+	"math"
+	"sort"
+
+	"specwise/internal/linmodel"
+)
+
+// Box is the design-space box constraint: Lo[k] <= d[k] <= Hi[k].
+// Log[k] marks multiplicatively acting coordinates (sizes), which get a
+// ratio-based trust band instead of an additive one.
+type Box struct {
+	Lo, Hi []float64
+	Log    []bool
+}
+
+// LinearConstraints is the linearized feasibility region of Eq. 15:
+// C0[j] + J[j]·(d − Df) >= 0.
+type LinearConstraints struct {
+	Df []float64
+	C0 []float64
+	J  [][]float64 // len(C0) rows × len(Df) columns
+}
+
+// Margin evaluates constraint j's linearized margin at d.
+func (lc *LinearConstraints) Margin(j int, d []float64) float64 {
+	v := lc.C0[j]
+	for k := range d {
+		v += lc.J[j][k] * (d[k] - lc.Df[k])
+	}
+	return v
+}
+
+// AlphaInterval intersects the allowed step range along coordinate k at
+// design d: box bounds first, then every linearized constraint.
+// It returns lo > hi when no feasible step exists.
+func (lc *LinearConstraints) AlphaInterval(box Box, d []float64, k int) (lo, hi float64) {
+	lo, hi = box.Lo[k]-d[k], box.Hi[k]-d[k]
+	if lc == nil {
+		return lo, hi
+	}
+	for j := range lc.C0 {
+		c := lc.Margin(j, d)
+		g := lc.J[j][k]
+		switch {
+		case g > 1e-15:
+			if b := -c / g; b > lo {
+				lo = b
+			}
+		case g < -1e-15:
+			if b := -c / g; b < hi {
+				hi = b
+			}
+		default:
+			if c < 0 {
+				// Constraint violated and insensitive to this axis: the
+				// whole segment is (linearly) infeasible.
+				return 1, -1
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Options tunes the coordinate search.
+type Options struct {
+	MaxPasses int     // full sweeps over all coordinates (default 8)
+	MinGain   int     // samples gained to accept a move (default 1)
+	ShrinkTol float64 // stop when no coordinate moved more than this (default 1e-6)
+	// TrustFactor limits each log-scaled coordinate's total move per
+	// Search call to the multiplicative band [d0/TrustFactor,
+	// d0·TrustFactor]; linearly acting coordinates get an additive band
+	// of ±TrustFrac of their box range instead. The linear models are
+	// local; letting the search run to the far side of the box is
+	// exactly the kind of extrapolation the paper's feasibility region
+	// exists to prevent. Default 2.5; values >= 1e9 disable.
+	TrustFactor float64
+	// TrustFrac is the additive trust band for linear coordinates as a
+	// fraction of the box range (default 0.35).
+	TrustFrac float64
+}
+
+func (o *Options) defaults() {
+	if o.MaxPasses == 0 {
+		o.MaxPasses = 8
+	}
+	if o.MinGain == 0 {
+		o.MinGain = 1
+	}
+	if o.ShrinkTol == 0 {
+		o.ShrinkTol = 1e-6
+	}
+	if o.TrustFactor <= 0 {
+		o.TrustFactor = 2.5
+	}
+	if o.TrustFrac <= 0 {
+		o.TrustFrac = 0.35
+	}
+}
+
+// Result reports the search outcome.
+type Result struct {
+	D       []float64
+	Yield   float64 // final estimated yield over the models
+	Passes  int
+	Moved   bool
+	History []float64 // estimated yield after each pass
+}
+
+// Search maximizes the sampled yield estimate over d within the linearized
+// feasibility polytope, coordinate by coordinate, until a full pass makes
+// no progress.
+func Search(box Box, est *linmodel.Estimator, lc *LinearConstraints, d0 []float64, opts Options) *Result {
+	opts.defaults()
+	d := append([]float64(nil), d0...)
+	res := &Result{}
+
+	bestCount, _ := est.Count(d)
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		movedThisPass := 0.0
+		for k := range box.Lo {
+			lo, hi := lc.AlphaInterval(box, d, k)
+			{
+				// Total per-coordinate move since the start of the search
+				// stays within the trust band around d0: multiplicative
+				// for sizes, additive for everything else.
+				var up, down float64
+				if len(box.Log) > k && box.Log[k] {
+					up = (opts.TrustFactor - 1) * math.Abs(d0[k])
+					down = math.Abs(d0[k]) * (1 - 1/opts.TrustFactor)
+				} else {
+					up = opts.TrustFrac * (box.Hi[k] - box.Lo[k])
+					down = up
+				}
+				if l := d0[k] - down - d[k]; l > lo {
+					lo = l
+				}
+				if h := d0[k] + up - d[k]; h < hi {
+					hi = h
+				}
+			}
+			if lo > hi {
+				continue
+			}
+			cd := est.Coordinate(d, k)
+			alpha, count := bestAlpha(cd, lo, hi, est.N)
+			if count >= bestCount+opts.MinGain && alpha != 0 {
+				d[k] += alpha
+				bestCount = count
+				movedThisPass += math.Abs(alpha)
+				continue
+			}
+			// Tie (plateau): move along the concave mean-min-margin
+			// surrogate as long as it does not lose samples.
+			if alphaT := tieBreakAlpha(cd, lo, hi, est.N); alphaT != 0 {
+				if cnt := countAt(cd, alphaT, est.N); cnt >= bestCount {
+					d[k] += alphaT
+					bestCount = cnt
+					movedThisPass += math.Abs(alphaT)
+				}
+			}
+		}
+		res.Passes = pass + 1
+		res.History = append(res.History, float64(bestCount)/float64(est.N))
+		if movedThisPass > opts.ShrinkTol {
+			res.Moved = true
+		}
+		if movedThisPass <= opts.ShrinkTol {
+			break
+		}
+	}
+	res.D = d
+	res.Yield = float64(bestCount) / float64(est.N)
+	return res
+}
+
+// bestAlpha finds the α in [lo, hi] maximizing the passing-sample count by
+// an event sweep: each sample passes on an interval [l_j, h_j] of α
+// (intersection of its per-model half-lines), and the best α lies on a
+// maximal overlap of those intervals. Ties prefer the smallest |α| and the
+// returned α is centered within its plateau for robustness.
+func bestAlpha(cd linmodel.CoordinateData, lo, hi float64, n int) (float64, int) {
+	type event struct {
+		x     float64
+		delta int
+	}
+	events := make([]event, 0, 2*n)
+	for j := 0; j < n; j++ {
+		l, h, ok := sampleInterval(cd, j, lo, hi)
+		if !ok {
+			continue
+		}
+		events = append(events, event{l, +1}, event{h, -1})
+	}
+	if len(events) == 0 {
+		return 0, 0
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].x != events[b].x {
+			return events[a].x < events[b].x
+		}
+		// Opens before closes at the same abscissa: intervals are closed.
+		return events[a].delta > events[b].delta
+	})
+	bestCount, cur := 0, 0
+	bestL, bestR := 0.0, 0.0
+	for i, ev := range events {
+		cur += ev.delta
+		if cur > bestCount {
+			bestCount = cur
+			bestL = ev.x
+			bestR = hi
+			if i+1 < len(events) {
+				bestR = events[i+1].x
+			}
+		}
+	}
+	// Prefer zero move if the best plateau contains it; otherwise take
+	// the nearest end of the plateau inset by a quarter width — far
+	// enough from the pass/fail cliff for robustness, close enough to
+	// the current point to keep the linearization local.
+	if bestL <= 0 && 0 <= bestR {
+		return 0, bestCount
+	}
+	if bestL > 0 {
+		return bestL + 0.25*(bestR-bestL), bestCount
+	}
+	return bestR - 0.25*(bestR-bestL), bestCount
+}
+
+// sampleInterval intersects sample j's pass conditions over all models
+// with the feasible segment.
+func sampleInterval(cd linmodel.CoordinateData, j int, lo, hi float64) (l, h float64, ok bool) {
+	l, h = lo, hi
+	for m := range cd.G {
+		c := cd.C[m][j]
+		g := cd.G[m]
+		switch {
+		case g > 1e-15:
+			if b := -c / g; b > l {
+				l = b
+			}
+		case g < -1e-15:
+			if b := -c / g; b < h {
+				h = b
+			}
+		default:
+			if c < 0 {
+				return 0, 0, false
+			}
+		}
+	}
+	return l, h, l <= h
+}
+
+// countAt counts passing samples at step α.
+func countAt(cd linmodel.CoordinateData, alpha float64, n int) int {
+	count := 0
+	for j := 0; j < n; j++ {
+		ok := true
+		for m := range cd.G {
+			if cd.C[m][j]+cd.G[m]*alpha < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// tieBreakAlpha maximizes the mean over samples of the minimum model
+// margin — a concave piecewise-linear function of α — by ternary search.
+// On the paper's Fig.-5 zero plateaus this pulls the design toward the
+// acceptance region even though the count objective is flat.
+func tieBreakAlpha(cd linmodel.CoordinateData, lo, hi float64, n int) float64 {
+	if len(cd.G) == 0 || lo >= hi {
+		return 0
+	}
+	obj := func(alpha float64) float64 {
+		total := 0.0
+		for j := 0; j < n; j++ {
+			minM := math.Inf(1)
+			for m := range cd.G {
+				v := (cd.C[m][j] + cd.G[m]*alpha) * cd.Scale[m]
+				if v < minM {
+					minM = v
+				}
+			}
+			total += minM
+		}
+		return total / float64(n)
+	}
+	a, b := lo, hi
+	for i := 0; i < 60 && b-a > 1e-9*(1+math.Abs(a)+math.Abs(b)); i++ {
+		m1 := a + (b-a)/3
+		m2 := b - (b-a)/3
+		if obj(m1) < obj(m2) {
+			a = m1
+		} else {
+			b = m2
+		}
+	}
+	alpha := (a + b) / 2
+	if obj(alpha) <= obj(0) {
+		return 0
+	}
+	return alpha
+}

@@ -1,0 +1,38 @@
+// Package core implements the paper's primary contribution: the iterative
+// direct yield optimizer of Fig. 6, built from spec-wise linearization at
+// worst-case points (Sec. 5.2), feasibility-region linearization
+// (Sec. 5.1), a sampled-yield coordinate search (Sec. 5.3), a
+// simulation-based line search (Sec. 5.4) and a feasible-start search
+// (Sec. 5.5). The problem abstraction lives in internal/problem and is
+// re-exported here so that callers deal with a single package.
+package core
+
+import "specwise/internal/problem"
+
+// Aliases re-exporting the problem abstraction.
+type (
+	// Problem is the black-box circuit abstraction the optimizer runs on.
+	Problem = problem.Problem
+	// Spec is one performance specification with its bound.
+	Spec = problem.Spec
+	// SpecKind distinguishes >= from <= specifications.
+	SpecKind = problem.SpecKind
+	// Param is a bounded design parameter.
+	Param = problem.Param
+	// OpRange is one operating parameter with its tolerance range.
+	OpRange = problem.OpRange
+	// EvalFunc evaluates all performances at one parameter point.
+	EvalFunc = problem.EvalFunc
+	// ConstraintFunc evaluates the functional constraints c(d) >= 0.
+	ConstraintFunc = problem.ConstraintFunc
+	// Counter tallies simulator invocations for effort reporting.
+	Counter = problem.Counter
+)
+
+// Re-exported spec-kind constants.
+const (
+	// GE means the performance must satisfy f >= Bound.
+	GE = problem.GE
+	// LE means the performance must satisfy f <= Bound.
+	LE = problem.LE
+)

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"specwise/internal/coord"
+	"specwise/internal/feasopt"
+	"specwise/internal/linmodel"
+	"specwise/internal/rng"
+	"specwise/internal/wcd"
+)
+
+// Options configures the yield optimizer. The zero value gives the paper's
+// setup: functional constraints on, worst-case linearization, mirrored
+// specs, 10,000 model samples and 300 verification samples.
+type Options struct {
+	// ModelSamples is N for the linear-model yield estimate (Eq. 17).
+	ModelSamples int
+	// VerifySamples is the simulation-based Monte-Carlo sample size.
+	VerifySamples int
+	// MaxIterations bounds the outer linearize/search/line-search loop.
+	MaxIterations int
+	// Seed drives every random stream of the run.
+	Seed uint64
+	// NoConstraints disables the functional constraints entirely — the
+	// Table-3 ablation.
+	NoConstraints bool
+	// LinearizeAtNominal builds the spec models at s = 0 instead of the
+	// worst-case points — the Table-4 ablation.
+	LinearizeAtNominal bool
+	// NoMirrorSpecs disables the quadratic-performance mirror models of
+	// Eqs. 21–22.
+	NoMirrorSpecs bool
+	// SkipVerify skips the simulation-based Monte-Carlo verification
+	// (used by cheap smoke tests; table runs keep it on).
+	SkipVerify bool
+	// LHS draws the linear-model yield samples by Latin-hypercube
+	// stratification instead of plain Monte Carlo, reducing estimator
+	// noise at the same N (an extension beyond the paper's setup).
+	LHS bool
+	// RefineThetaPasses enables golden-section refinement of the
+	// worst-case operating points after corner enumeration, catching
+	// interior worst cases (e.g. mid-range phase-margin dips). 0 = off.
+	RefineThetaPasses int
+	// QuadraticSpecs upgrades detected quadratic performances from the
+	// paper's linear+mirror pair to a radial-quadratic model at the same
+	// simulation cost (extension; see the QuadStudy experiment).
+	QuadraticSpecs bool
+	// WC tunes the worst-case distance searches.
+	WC wcd.Options
+	// Coord tunes the coordinate search.
+	Coord coord.Options
+	// Log, when non-nil, receives human-readable progress lines.
+	Log io.Writer
+}
+
+func (o *Options) defaults() {
+	if o.ModelSamples == 0 {
+		o.ModelSamples = 10000
+	}
+	if o.VerifySamples == 0 {
+		o.VerifySamples = 300
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 20010618 // DAC 2001 opening day
+	}
+}
+
+// SpecState is one spec's situation at an iteration point, mirroring the
+// per-spec rows of the paper's Tables 1, 3, 4 and 6.
+type SpecState struct {
+	// NominalMargin is f(d, s0, θ_wc) − f_b in the normalized ">= 0 is
+	// good" sense (the paper's f − f_b rows, sign-adjusted for ≤ specs).
+	NominalMargin float64
+	// BadPerMille is the linear-model bad-sample rate in ‰ (Eq. 18).
+	BadPerMille float64
+	// Beta is the signed worst-case distance.
+	Beta float64
+	// ThetaWc is the spec's worst-case operating point.
+	ThetaWc []float64
+	// MCMean / MCSigma are the verification-run performance moments.
+	MCMean, MCSigma float64
+	// MCBad counts verification samples violating the spec.
+	MCBad int
+}
+
+// Iteration is the full record of one optimizer state (the "Initial",
+// "1st Iter", "2nd Iter" blocks of the paper's tables).
+type Iteration struct {
+	Design     []float64
+	Specs      []SpecState
+	ModelYield float64 // Ȳ over the linear models at Design
+	MCYield    float64 // Ỹ from simulation (NaN when verification is off)
+	MCResult   *MCResult
+	WorstCases []*wcd.WorstCase
+	Models     []*linmodel.SpecModel
+}
+
+// Result is the outcome of a full optimization run.
+type Result struct {
+	Problem *Problem
+	// Iterations[0] is the initial state; each further entry is the state
+	// after one linearize → search → line-search cycle.
+	Iterations  []Iteration
+	FinalDesign []float64
+	// Simulations totals the full performance evaluations spent.
+	Simulations int64
+	// ConstraintSims totals the DC-only constraint evaluations.
+	ConstraintSims int64
+}
+
+// Optimizer runs the paper's Fig.-6 algorithm.
+type Optimizer struct {
+	problem *Problem
+	opts    Options
+	counter Counter
+	p       *Problem // instrumented copy
+}
+
+// NewOptimizer validates the problem and prepares an instrumented copy.
+func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
+	if err := problem.Validate(); err != nil {
+		return nil, err
+	}
+	opts.defaults()
+	o := &Optimizer{problem: problem, opts: opts}
+	o.p = o.counter.Instrument(problem)
+	if opts.NoConstraints {
+		o.p.Constraints = nil
+	}
+	return o, nil
+}
+
+func (o *Optimizer) logf(format string, args ...any) {
+	if o.opts.Log != nil {
+		fmt.Fprintf(o.opts.Log, format+"\n", args...)
+	}
+}
+
+// Run executes: feasible start (Sec. 5.5), then MaxIterations cycles of
+// constraint linearization (Eq. 15), worst-case analysis (Eqs. 2 and 8),
+// spec-wise linearization (Eq. 16, with Eqs. 21–22 mirrors), sampled-yield
+// coordinate search (Eqs. 17–20) and a simulation-based line search
+// (Eq. 23). The state before each cycle — and the final state — is
+// recorded, so a run with MaxIterations=2 yields the three table blocks.
+func (o *Optimizer) Run() (*Result, error) {
+	p := o.p
+	opts := o.opts
+	res := &Result{Problem: o.problem}
+
+	// Initial step: find a feasible starting point.
+	d := p.InitialDesign()
+	if p.Constraints != nil {
+		df, err := feasopt.FeasibleStart(p, d, 0)
+		if err != nil {
+			o.logf("feasible start: %v (continuing from best effort)", err)
+		}
+		if df != nil {
+			d = df
+		}
+	}
+
+	seed := opts.Seed
+	coordOpts := opts.Coord
+
+	// score ranks iteration states: verified yield when available,
+	// model-estimated yield otherwise.
+	score := func(it *Iteration) float64 {
+		if opts.SkipVerify {
+			return it.ModelYield
+		}
+		return it.MCYield
+	}
+
+	cur, _, est, err := o.analyze(d, seed)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("initial: model yield %.4f, MC yield %.4f", cur.ModelYield, cur.MCYield)
+	res.Iterations = append(res.Iterations, *cur)
+
+	rejections := 0
+	for accepted, attempt := 0, 0; accepted < opts.MaxIterations && attempt < opts.MaxIterations+4; attempt++ {
+		// Linearize the feasibility region at the current point (Eq. 15).
+		var lc *coord.LinearConstraints
+		if p.Constraints != nil {
+			lc, err = feasopt.Linearize(p, d, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		// Maximize the sampled yield estimate by coordinate search.
+		sr := coord.Search(designBox(p), est, lc, d, coordOpts)
+		o.logf("attempt %d: coordinate search yield %.4f after %d passes", attempt, sr.Yield, sr.Passes)
+		if !sr.Moved {
+			o.logf("attempt %d: no improving move found; stopping", attempt)
+			break
+		}
+
+		// Pull the optimum back into the true feasibility region (Eq. 23).
+		var dNew []float64
+		if p.Constraints != nil {
+			gamma, dn, err := feasopt.LineSearch(p, d, sr.D, 0)
+			if err != nil {
+				return nil, err
+			}
+			o.logf("attempt %d: line search gamma %.3f", attempt, gamma)
+			dNew = dn
+		} else {
+			dNew = p.ClampDesign(sr.D)
+		}
+
+		next, _, estNew, err := o.analyze(dNew, seed+uint64(attempt)+1)
+		if err != nil {
+			return nil, err
+		}
+		o.logf("attempt %d: model yield %.4f, MC yield %.4f", attempt, next.ModelYield, next.MCYield)
+
+		// Accept/reject: the loop runs "until no further improvement of
+		// the yield". A step that loses yield is rejected; the design
+		// stays put, the trust region shrinks (the models were
+		// over-trusted) and the search reuses the current models.
+		if score(next) < score(cur)-0.02 {
+			newTrust := trustOf(coordOpts) / 2
+			rejections++
+			o.logf("attempt %d: yield regressed (%.4f < %.4f); trust -> %.2f",
+				attempt, score(next), score(cur), newTrust)
+			if newTrust < 1.2 || rejections > 3 {
+				break
+			}
+			coordOpts.TrustFactor = newTrust
+			if coordOpts.TrustFrac <= 0 {
+				coordOpts.TrustFrac = 0.35
+			}
+			coordOpts.TrustFrac /= 2
+			continue
+		}
+		d = dNew
+		cur, est = next, estNew
+		res.Iterations = append(res.Iterations, *cur)
+		accepted++
+	}
+
+	res.FinalDesign = d
+	res.Simulations = o.counter.Evals()
+	res.ConstraintSims = o.counter.ConstraintEvals()
+	return res, nil
+}
+
+// trustOf reads the effective trust factor from coordinate options.
+func trustOf(o coord.Options) float64 {
+	if o.TrustFactor <= 0 {
+		return 2.5
+	}
+	return o.TrustFactor
+}
+
+// designBox extracts the design-space box constraint for the search.
+func designBox(p *Problem) coord.Box {
+	box := coord.Box{
+		Lo:  make([]float64, p.NumDesign()),
+		Hi:  make([]float64, p.NumDesign()),
+		Log: make([]bool, p.NumDesign()),
+	}
+	for k, prm := range p.Design {
+		box.Lo[k], box.Hi[k], box.Log[k] = prm.Lo, prm.Hi, prm.LogScale
+	}
+	return box
+}
+
+// analyze performs the worst-case analysis and model build at design d and
+// assembles the iteration record (including the optional MC verification).
+func (o *Optimizer) analyze(d []float64, seed uint64) (*Iteration, []*linmodel.SpecModel, *linmodel.Estimator, error) {
+	p := o.p
+	opts := o.opts
+
+	// Worst-case operating points (Eq. 2) at the nominal statistical point.
+	zeroS := make([]float64, p.NumStat())
+	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if err := wcd.RefineTheta(p, d, zeroS, thetaRes, opts.RefineThetaPasses); err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Worst-case statistical points (Eq. 8) per spec. The searches are
+	// independent, so they run concurrently (the paper used a machine
+	// cluster for the same reason); seeds are per-spec, so the result is
+	// identical to the serial run.
+	wcs := make([]*wcd.WorstCase, p.NumSpecs())
+	wcErrs := make([]error, p.NumSpecs())
+	var wg sync.WaitGroup
+	for i := range p.Specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			theta := thetaRes.PerSpec[i]
+			marginFn := func(s []float64) (float64, error) {
+				vals, err := p.Eval(d, s, theta)
+				if err != nil {
+					return 0, err
+				}
+				return p.Specs[i].Margin(vals[i]), nil
+			}
+			wcOpts := opts.WC
+			wcOpts.Seed = seed + uint64(i)*1000003
+			wcs[i], wcErrs[i] = wcd.FindWorstCase(marginFn, p.NumStat(), wcOpts)
+		}()
+	}
+	wg.Wait()
+	for _, err := range wcErrs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	// Spec-wise linear models (Eq. 16 / Eqs. 21–22).
+	models, err := linmodel.Build(p, d, wcs, thetaRes.PerSpec, linmodel.BuildOptions{
+		MirrorSpecs:    !opts.NoMirrorSpecs && !opts.LinearizeAtNominal,
+		AtNominal:      opts.LinearizeAtNominal,
+		QuadraticSpecs: opts.QuadraticSpecs,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	var est *linmodel.Estimator
+	if opts.LHS {
+		est = linmodel.NewEstimatorLHS(models, p.NumStat(), opts.ModelSamples, rng.New(seed))
+	} else {
+		est = linmodel.NewEstimator(models, p.NumStat(), opts.ModelSamples, rng.New(seed))
+	}
+	pass, bad := est.Count(d)
+
+	iter := &Iteration{
+		Design:     append([]float64(nil), d...),
+		Specs:      make([]SpecState, p.NumSpecs()),
+		ModelYield: float64(pass) / float64(est.N),
+		WorstCases: wcs,
+		Models:     models,
+	}
+	for i := range p.Specs {
+		iter.Specs[i] = SpecState{
+			NominalMargin: thetaRes.Margins[i],
+			BadPerMille:   1000 * float64(bad[i]) / float64(est.N),
+			Beta:          wcs[i].Beta,
+			ThetaWc:       thetaRes.PerSpec[i],
+		}
+	}
+
+	iter.MCYield = -1
+	if !opts.SkipVerify {
+		mc, err := VerifyMC(p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		iter.MCResult = mc
+		iter.MCYield = mc.Estimate.Yield()
+		for i := range p.Specs {
+			iter.Specs[i].MCMean = mc.Moments[i].Mean()
+			iter.Specs[i].MCSigma = mc.Moments[i].Sigma()
+			iter.Specs[i].MCBad = mc.BadPerSpec[i]
+		}
+	}
+	return iter, models, est, nil
+}
+
+// NewAndRun is a convenience wrapper: validate, construct and run.
+func NewAndRun(p *Problem, opts Options) (*Result, error) {
+	o, err := NewOptimizer(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.Run()
+}

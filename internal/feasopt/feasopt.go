@@ -1,0 +1,196 @@
+// Package feasopt implements the feasibility machinery of the paper's
+// Secs. 5.1, 5.4 and 5.5: linearization of the functional constraints
+// c(d) ≥ 0 at the current iteration point (Eq. 15), the search for a
+// feasible starting point (closest feasible design to d0), and the
+// simulation-based line search (Eq. 23) that pulls the coordinate-search
+// optimum back into the true feasibility region.
+package feasopt
+
+import (
+	"errors"
+	"fmt"
+
+	"specwise/internal/coord"
+	"specwise/internal/linalg"
+	"specwise/internal/problem"
+)
+
+// Linearize measures c(d_f) and its Jacobian by forward differences,
+// producing the linearized feasibility polytope of Eq. 15. It costs
+// numDesign+1 constraint evaluations.
+func Linearize(p *problem.Problem, df []float64, fdStep float64) (*coord.LinearConstraints, error) {
+	if p.Constraints == nil {
+		return nil, errors.New("feasopt: problem has no constraints")
+	}
+	if fdStep == 0 {
+		fdStep = 0.02
+	}
+	c0, err := p.Constraints(df)
+	if err != nil {
+		return nil, err
+	}
+	nc := len(c0)
+	jac := make([][]float64, nc)
+	for j := range jac {
+		jac[j] = make([]float64, p.NumDesign())
+	}
+	work := append([]float64(nil), df...)
+	for k, prm := range p.Design {
+		h := fdStep * (prm.Hi - prm.Lo)
+		if h == 0 {
+			continue
+		}
+		if work[k]+h > prm.Hi {
+			h = -h
+		}
+		work[k] = df[k] + h
+		ck, err := p.Constraints(work)
+		if err != nil {
+			return nil, err
+		}
+		work[k] = df[k]
+		for j := range ck {
+			jac[j][k] = (ck[j] - c0[j]) / h
+		}
+	}
+	return &coord.LinearConstraints{
+		Df: append([]float64(nil), df...),
+		C0: c0,
+		J:  jac,
+	}, nil
+}
+
+// MinMargin returns the smallest constraint margin (+Inf when the problem
+// has no constraints).
+func MinMargin(c []float64) float64 {
+	min := 1e308
+	for _, v := range c {
+		if v < min {
+			min = v
+		}
+	}
+	if len(c) == 0 {
+		return 1e308
+	}
+	return min
+}
+
+// FeasibleStart implements Sec. 5.5: when d0 violates c(d) ≥ 0, it
+// iterates damped Gauss–Newton corrections on the linearized violated
+// constraints — the minimum-norm design change zeroing them — until the
+// design is feasible, staying inside the design box throughout.
+func FeasibleStart(p *problem.Problem, d0 []float64, maxIter int) ([]float64, error) {
+	if maxIter == 0 {
+		maxIter = 12
+	}
+	d := append([]float64(nil), d0...)
+	p.ClampDesign(d)
+	if p.Constraints == nil {
+		return d, nil
+	}
+	const safety = 0.01 // target margin so the start is strictly feasible
+
+	for iter := 0; iter < maxIter; iter++ {
+		lc, err := Linearize(p, d, 0)
+		if err != nil {
+			return nil, err
+		}
+		if MinMargin(lc.C0) >= 0 {
+			return d, nil
+		}
+		// Collect the violated (and nearly violated) rows and solve the
+		// least-squares step that lifts them to the safety margin.
+		var rows [][]float64
+		var rhs []float64
+		for j, c := range lc.C0 {
+			if c < safety {
+				rows = append(rows, lc.J[j])
+				rhs = append(rhs, safety-c)
+			}
+		}
+		a := linalg.NewMatrix(len(rows), p.NumDesign())
+		for j, r := range rows {
+			copy(a.Row(j), r)
+		}
+		// Damped least squares: (AᵀA + λI)Δ = Aᵀr keeps steps sane when
+		// rows are nearly dependent.
+		at := a.T()
+		ata := at.Mul(a)
+		for k := 0; k < p.NumDesign(); k++ {
+			ata.Addto(k, k, 1e-6)
+		}
+		atr := at.MulVec(linalg.Vector(rhs))
+		step, err := linalg.Solve(ata, atr)
+		if err != nil {
+			return nil, fmt.Errorf("feasopt: feasible-start step failed: %w", err)
+		}
+		for k := range d {
+			d[k] += step[k]
+		}
+		p.ClampDesign(d)
+	}
+	// Accept the best effort; the caller decides whether a residual
+	// violation is fatal.
+	c, err := p.Constraints(d)
+	if err != nil {
+		return nil, err
+	}
+	if MinMargin(c) < 0 {
+		return d, fmt.Errorf("feasopt: no feasible start found within %d iterations (min margin %.4g)",
+			maxIter, MinMargin(c))
+	}
+	return d, nil
+}
+
+// LineSearch implements Eq. 23: the largest γ ∈ [0, 1] for which
+// d_f + γ·(d* − d_f) satisfies the true (simulated) constraints. It uses
+// bisection against real constraint evaluations, about log2(1/tol) + 1
+// simulations, mirroring the paper's "small number of circuit
+// simulations (e.g. 10)".
+func LineSearch(p *problem.Problem, df, dstar []float64, steps int) (gamma float64, dNew []float64, err error) {
+	if steps == 0 {
+		steps = 9
+	}
+	r := make([]float64, len(df))
+	for k := range r {
+		r[k] = dstar[k] - df[k]
+	}
+	at := func(g float64) []float64 {
+		d := make([]float64, len(df))
+		for k := range d {
+			d[k] = df[k] + g*r[k]
+		}
+		return p.ClampDesign(d)
+	}
+	if p.Constraints == nil {
+		return 1, at(1), nil
+	}
+	feasible := func(g float64) (bool, error) {
+		c, err := p.Constraints(at(g))
+		if err != nil {
+			return false, err
+		}
+		return MinMargin(c) >= 0, nil
+	}
+	ok, err := feasible(1)
+	if err != nil {
+		return 0, nil, err
+	}
+	if ok {
+		return 1, at(1), nil
+	}
+	lo, hi := 0.0, 1.0 // lo assumed feasible (df is), hi infeasible
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		ok, err := feasible(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, at(lo), nil
+}

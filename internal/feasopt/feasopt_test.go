@@ -1,0 +1,145 @@
+package feasopt
+
+import (
+	"math"
+	"testing"
+
+	"specwise/internal/problem"
+)
+
+// boxProblem: constraints c1 = 4 − d0 − d1, c2 = d0 − 1 (so the feasible
+// region is 1 <= d0, d0 + d1 <= 4).
+func boxProblem() *problem.Problem {
+	return &problem.Problem{
+		Name:  "box",
+		Specs: []problem.Spec{{Name: "f", Kind: problem.GE, Bound: 0}},
+		Design: []problem.Param{
+			{Name: "d0", Init: 0, Lo: -10, Hi: 10},
+			{Name: "d1", Init: 0, Lo: -10, Hi: 10},
+		},
+		StatNames:       []string{"s0"},
+		ConstraintNames: []string{"cap", "floor"},
+		Eval: func(d, s, th []float64) ([]float64, error) {
+			return []float64{1}, nil
+		},
+		Constraints: func(d []float64) ([]float64, error) {
+			return []float64{4 - d[0] - d[1], d[0] - 1}, nil
+		},
+	}
+}
+
+func TestLinearizeExactOnLinearConstraints(t *testing.T) {
+	p := boxProblem()
+	lc, err := Linearize(p, []float64{2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lc.C0[0]-1) > 1e-9 || math.Abs(lc.C0[1]-1) > 1e-9 {
+		t.Errorf("C0 = %v", lc.C0)
+	}
+	// Jacobian rows: [-1, -1] and [1, 0].
+	if math.Abs(lc.J[0][0]+1) > 1e-6 || math.Abs(lc.J[0][1]+1) > 1e-6 {
+		t.Errorf("J[0] = %v", lc.J[0])
+	}
+	if math.Abs(lc.J[1][0]-1) > 1e-6 || math.Abs(lc.J[1][1]) > 1e-6 {
+		t.Errorf("J[1] = %v", lc.J[1])
+	}
+}
+
+func TestLinearizeRequiresConstraints(t *testing.T) {
+	p := boxProblem()
+	p.Constraints = nil
+	if _, err := Linearize(p, []float64{0, 0}, 0); err == nil {
+		t.Error("expected error without constraints")
+	}
+}
+
+func TestMinMargin(t *testing.T) {
+	if MinMargin([]float64{3, -1, 2}) != -1 {
+		t.Error("MinMargin wrong")
+	}
+	if MinMargin(nil) < 1e300 {
+		t.Error("empty MinMargin should be huge")
+	}
+}
+
+func TestFeasibleStartAlreadyFeasible(t *testing.T) {
+	p := boxProblem()
+	d, err := FeasibleStart(p, []float64{2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0] != 2 || d[1] != 1 {
+		t.Errorf("feasible point moved: %v", d)
+	}
+}
+
+func TestFeasibleStartRecovers(t *testing.T) {
+	p := boxProblem()
+	// d0 = 0 violates d0 >= 1; d = (5, 5) violates the cap.
+	for _, start := range [][]float64{{0, 0}, {5, 5}, {-3, 9}} {
+		d, err := FeasibleStart(p, start, 0)
+		if err != nil {
+			t.Fatalf("start %v: %v", start, err)
+		}
+		c, _ := p.Constraints(d)
+		if MinMargin(c) < 0 {
+			t.Errorf("start %v: result %v still infeasible (%v)", start, d, c)
+		}
+	}
+}
+
+func TestFeasibleStartMinimalMove(t *testing.T) {
+	p := boxProblem()
+	// From (0.5, 0): nearest feasible point is (1, 0) — only d0 moves.
+	d, err := FeasibleStart(p, []float64{0.5, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[0]-1) > 0.1 || math.Abs(d[1]) > 0.1 {
+		t.Errorf("moved to %v; nearest feasible is ≈(1, 0)", d)
+	}
+}
+
+func TestLineSearchFullStep(t *testing.T) {
+	p := boxProblem()
+	gamma, d, err := LineSearch(p, []float64{1.5, 0}, []float64{2, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma != 1 {
+		t.Errorf("gamma = %v want 1 (target feasible)", gamma)
+	}
+	if d[0] != 2 || d[1] != 1 {
+		t.Errorf("d = %v", d)
+	}
+}
+
+func TestLineSearchStopsAtBoundary(t *testing.T) {
+	p := boxProblem()
+	// Target (5, 5) violates d0+d1 <= 4; the ray from (1.5, 0.5) hits the
+	// boundary at γ where 2 + γ·(10−2) = 4 → γ = 0.25.
+	gamma, d, err := LineSearch(p, []float64{1.5, 0.5}, []float64{5, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma >= 0.26 || gamma < 0.2 {
+		t.Errorf("gamma = %v want just below 0.25", gamma)
+	}
+	c, _ := p.Constraints(d)
+	if MinMargin(c) < 0 {
+		t.Errorf("line-search result infeasible: %v", d)
+	}
+}
+
+func TestLineSearchNoConstraints(t *testing.T) {
+	p := boxProblem()
+	p.Constraints = nil
+	gamma, d, err := LineSearch(p, []float64{0, 0}, []float64{3, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gamma != 1 || d[0] != 3 {
+		t.Errorf("gamma=%v d=%v", gamma, d)
+	}
+}

@@ -1,0 +1,81 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite reports that Cholesky factorization failed.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky computes the lower-triangular factor L with L Lᵀ = a for a
+// symmetric positive-definite matrix. Only the lower triangle of a is read.
+// This is the G(d) factor of the paper's Eq. (11): statistical samples in
+// the normalized space ŝ ~ N(0,I) map to physical deltas via s = L·ŝ + s0.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveLowerTriangular solves L x = b for lower-triangular L.
+func SolveLowerTriangular(l *Matrix, b Vector) Vector {
+	n := l.Rows
+	x := NewVector(n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveUpperTriangular solves U x = b for upper-triangular U.
+func SolveUpperTriangular(u *Matrix, b Vector) Vector {
+	n := u.Rows
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := u.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveSPD solves a x = b for symmetric positive-definite a via Cholesky.
+func SolveSPD(a *Matrix, b Vector) (Vector, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	y := SolveLowerTriangular(l, b)
+	return SolveUpperTriangular(l.T(), y), nil
+}

@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// CMatrix is a dense, row-major matrix of complex128 values. The AC
+// analysis of the circuit simulator solves (G + jωC)·x = b systems with it.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zero complex matrix with the given shape.
+func NewCMatrix(rows, cols int) *CMatrix {
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Addto adds v to the element at row i, column j.
+func (m *CMatrix) Addto(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// Row returns row i aliasing the matrix storage.
+func (m *CMatrix) Row(i int) []complex128 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns an independent copy of m.
+func (m *CMatrix) Clone() *CMatrix {
+	c := NewCMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears every entry of m.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CSolve solves a x = b in place of a copy of a using partially pivoted
+// Gaussian elimination and returns x. a and b are not modified.
+func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: CSolve requires a square matrix")
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, errors.New("linalg: CSolve dimension mismatch")
+	}
+	lu := a.Clone()
+	x := make([]complex128, n)
+	copy(x, b)
+	for k := 0; k < n; k++ {
+		p, maxv := k, cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+			x[i] -= m * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}

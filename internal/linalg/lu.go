@@ -1,0 +1,136 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports that a factorization encountered a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU holds an in-place LU factorization with partial pivoting, PA = LU.
+// It is reusable: Solve may be called repeatedly with different right-hand
+// sides, which is how the circuit simulator amortizes Newton iterations.
+type LU struct {
+	lu   *Matrix
+	piv  []int
+	sign int // +1 or -1, parity of the permutation
+}
+
+// NewLU factors a copy of a with partial pivoting. The input is not
+// modified. It returns ErrSingular when a pivot underflows.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LU requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Pivot: largest magnitude in column k at or below the diagonal.
+		p, maxv := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 || math.IsNaN(maxv) {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b and returns x. b is not modified.
+func (f *LU) Solve(b Vector) Vector {
+	n := f.lu.Rows
+	if len(b) != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	x := NewVector(n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with the unit-lower-triangular factor.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with the upper-triangular factor.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve factors a and solves a single system a x = b. For repeated solves
+// against the same matrix, use NewLU once and call LU.Solve.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns the inverse of a, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := NewVector(n)
+	for j := 0; j < n; j++ {
+		e.Zero()
+		e[j] = 1
+		col := f.Solve(e)
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}

@@ -1,0 +1,93 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m-by-n matrix with m >= n,
+// used for least-squares fits of linearized performance models.
+type QR struct {
+	qr   *Matrix   // Householder vectors below the diagonal, R on/above it
+	rdia []float64 // diagonal of R
+}
+
+// NewQR factors a copy of a (m >= n required).
+func NewQR(a *Matrix) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		return nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	f := &QR{qr: a.Clone(), rdia: make([]float64, n)}
+	qr := f.qr
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			return nil, ErrSingular
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Addto(k, k, 1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Addto(i, j, s*qr.At(i, k))
+			}
+		}
+		f.rdia[k] = -nrm
+	}
+	return f, nil
+}
+
+// SolveLeastSquares returns the x minimizing ‖a x − b‖₂ using the stored
+// factorization. b is not modified.
+func (f *QR) SolveLeastSquares(b Vector) Vector {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		panic("linalg: QR.SolveLeastSquares dimension mismatch")
+	}
+	y := b.Clone()
+	// Apply Householder reflectors: y = Qᵀ b.
+	for k := 0; k < n; k++ {
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = y[:n].
+	x := NewVector(n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdia[i]
+	}
+	return x
+}
+
+// LeastSquares is a convenience wrapper factoring a and solving one system.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveLeastSquares(b), nil
+}

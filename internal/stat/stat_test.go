@@ -1,0 +1,274 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specwise/internal/linalg"
+	"specwise/internal/rng"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+		{-3, 0.0013498980316301035},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalPDFSymmetricAndPeak(t *testing.T) {
+	if got := NormalPDF(0); math.Abs(got-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Errorf("pdf(0) = %v", got)
+	}
+	if NormalPDF(1.3) != NormalPDF(-1.3) {
+		t.Error("pdf not symmetric")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-6, 0.001, 0.025, 0.3, 0.5, 0.7, 0.975, 0.999, 1 - 1e-9} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-12*math.Max(1, 1/p) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("Quantile(0) != -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("Quantile(1) != +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+	if NormalQuantile(0.5) != 0 && math.Abs(NormalQuantile(0.5)) > 1e-15 {
+		t.Errorf("Quantile(0.5) = %v", NormalQuantile(0.5))
+	}
+}
+
+// Property: quantile is monotone increasing.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		pa := math.Abs(math.Mod(a, 1))
+		pb := math.Abs(math.Mod(b, 1))
+		if pa == 0 || pb == 0 || pa == pb {
+			return true
+		}
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return NormalQuantile(pa) < NormalQuantile(pb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldBetaRoundTrip(t *testing.T) {
+	for _, beta := range []float64{-3, -1, 0, 0.5, 2, 4} {
+		y := YieldFromBeta(beta)
+		if got := BetaFromYield(y); math.Abs(got-beta) > 1e-9 {
+			t.Errorf("round trip beta %v -> %v", beta, got)
+		}
+	}
+	if YieldFromBeta(0) != 0.5 {
+		t.Error("beta 0 should give 50% yield")
+	}
+	if YieldFromBeta(3) < 0.99 {
+		t.Error("beta 3 should give >99% yield")
+	}
+}
+
+func TestDistributionTransformRoundTrip(t *testing.T) {
+	dists := []Distribution{
+		{Kind: Normal, Mu: 2, Sigma: 0.5},
+		{Kind: LogNormal, Mu: 0, Sigma: 0.3},
+		{Kind: Uniform, Lo: -1, Hi: 3},
+	}
+	for _, d := range dists {
+		for _, z := range []float64{-2.5, -1, 0, 0.7, 2.2} {
+			x := d.ToPhysical(z)
+			if got := d.ToNormal(x); math.Abs(got-z) > 1e-9 {
+				t.Errorf("%v: round trip z=%v -> %v", d.Kind, z, got)
+			}
+		}
+	}
+}
+
+func TestDistributionMean(t *testing.T) {
+	if got := (Distribution{Kind: Normal, Mu: 3, Sigma: 1}).Mean(); got != 3 {
+		t.Errorf("normal mean = %v", got)
+	}
+	if got := (Distribution{Kind: Uniform, Lo: 0, Hi: 4}).Mean(); got != 2 {
+		t.Errorf("uniform mean = %v", got)
+	}
+	ln := Distribution{Kind: LogNormal, Mu: 0, Sigma: 0.5}
+	if got := ln.Mean(); math.Abs(got-math.Exp(0.125)) > 1e-12 {
+		t.Errorf("lognormal mean = %v", got)
+	}
+}
+
+// Property: uniform transform stays within [Lo, Hi].
+func TestUniformTransformBoundsProperty(t *testing.T) {
+	d := Distribution{Kind: Uniform, Lo: 1, Hi: 5}
+	f := func(z float64) bool {
+		if math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		x := d.ToPhysical(z)
+		return x >= d.Lo && x <= d.Hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldEstimate(t *testing.T) {
+	e := NewYieldEstimate(90, 100)
+	if e.Yield() != 0.9 {
+		t.Errorf("yield = %v", e.Yield())
+	}
+	if e.Lo >= 0.9 || e.Hi <= 0.9 {
+		t.Errorf("interval [%v, %v] must bracket 0.9", e.Lo, e.Hi)
+	}
+	if e.Lo < 0.8 || e.Hi > 0.97 {
+		t.Errorf("interval [%v, %v] implausibly wide", e.Lo, e.Hi)
+	}
+}
+
+func TestYieldEstimateExtremes(t *testing.T) {
+	zero := NewYieldEstimate(0, 300)
+	if zero.Yield() != 0 || zero.Lo != 0 || zero.Hi <= 0 || zero.Hi > 0.05 {
+		t.Errorf("zero-yield interval [%v,%v]", zero.Lo, zero.Hi)
+	}
+	full := NewYieldEstimate(300, 300)
+	if full.Yield() != 1 || full.Hi != 1 || full.Lo >= 1 || full.Lo < 0.95 {
+		t.Errorf("full-yield interval [%v,%v]", full.Lo, full.Hi)
+	}
+	empty := NewYieldEstimate(0, 0)
+	if empty.Yield() != 0 {
+		t.Error("empty estimate must be 0")
+	}
+}
+
+func TestSampleMVNCovariance(t *testing.T) {
+	// Target covariance [[4, 1], [1, 2]].
+	cov := linalg.FromRows([][]float64{{4, 1}, {1, 2}})
+	l, err := linalg.Cholesky(cov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := linalg.Vector{1, -1}
+	r := rng.New(99)
+	const n = 100000
+	var sx, sy, sxx, syy, sxy float64
+	dst := linalg.NewVector(2)
+	for i := 0; i < n; i++ {
+		SampleMVN(r, mean, l, dst)
+		sx += dst[0]
+		sy += dst[1]
+		sxx += dst[0] * dst[0]
+		syy += dst[1] * dst[1]
+		sxy += dst[0] * dst[1]
+	}
+	mx, my := sx/n, sy/n
+	if math.Abs(mx-1) > 0.03 || math.Abs(my+1) > 0.03 {
+		t.Errorf("means (%v, %v)", mx, my)
+	}
+	cxx := sxx/n - mx*mx
+	cyy := syy/n - my*my
+	cxy := sxy/n - mx*my
+	if math.Abs(cxx-4) > 0.15 || math.Abs(cyy-2) > 0.1 || math.Abs(cxy-1) > 0.1 {
+		t.Errorf("covariance [[%v, %v], [_, %v]]", cxx, cxy, cyy)
+	}
+}
+
+func TestMomentsWelford(t *testing.T) {
+	var m Moments
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		m.Add(x)
+	}
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+	// Unbiased variance of that classic dataset is 32/7.
+	if math.Abs(m.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %v", m.Variance())
+	}
+	if math.Abs(m.Sigma()-math.Sqrt(32.0/7.0)) > 1e-12 {
+		t.Errorf("sigma = %v", m.Sigma())
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if m.Variance() != 0 || m.Mean() != 0 {
+		t.Error("empty moments must be zero")
+	}
+	m.Add(3)
+	if m.Mean() != 3 || m.Variance() != 0 {
+		t.Error("single observation: mean 3, variance 0")
+	}
+}
+
+func TestDistributionKindString(t *testing.T) {
+	if Normal.String() != "normal" || LogNormal.String() != "lognormal" || Uniform.String() != "uniform" {
+		t.Error("String() labels wrong")
+	}
+	if DistributionKind(42).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+// Property: SampleMVN with the identity factor reproduces i.i.d. normals:
+// each call equals mean + z where z are the generator's normals.
+func TestSampleMVNIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		l, err := linalg.Cholesky(linalg.Identity(3))
+		if err != nil {
+			return false
+		}
+		mean := linalg.Vector{1, 2, 3}
+		a := rng.New(seed)
+		b := rng.New(seed)
+		got := SampleMVN(a, mean, l, linalg.NewVector(3))
+		z := b.NormVector(make([]float64, 3))
+		for i := range got {
+			if math.Abs(got[i]-(mean[i]+z[i])) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Wilson interval always brackets the point estimate and stays
+// within [0, 1].
+func TestWilsonIntervalProperty(t *testing.T) {
+	f := func(passRaw, totalRaw uint16) bool {
+		total := int(totalRaw%1000) + 1
+		pass := int(passRaw) % (total + 1)
+		e := NewYieldEstimate(pass, total)
+		y := e.Yield()
+		return e.Lo >= 0 && e.Hi <= 1 && e.Lo <= y+1e-12 && e.Hi >= y-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistributionKind enumerates the source distributions the paper's Sec. 2
+// allows for statistical parameters; all are transformed into the
+// normalized standard Gaussian space before optimization.
+type DistributionKind int
+
+const (
+	// Normal is a Gaussian with mean Mu and standard deviation Sigma.
+	Normal DistributionKind = iota
+	// LogNormal is exp(N(Mu, Sigma²)).
+	LogNormal
+	// Uniform is uniform on [Lo, Hi].
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (k DistributionKind) String() string {
+	switch k {
+	case Normal:
+		return "normal"
+	case LogNormal:
+		return "lognormal"
+	case Uniform:
+		return "uniform"
+	}
+	return fmt.Sprintf("DistributionKind(%d)", int(k))
+}
+
+// Distribution describes one scalar statistical parameter's marginal law.
+type Distribution struct {
+	Kind      DistributionKind
+	Mu, Sigma float64 // Normal / LogNormal parameters
+	Lo, Hi    float64 // Uniform bounds
+}
+
+// ToPhysical maps a standard normal variate z to the physical space of the
+// distribution (the inverse of the normalization used in the optimizer).
+func (d Distribution) ToPhysical(z float64) float64 {
+	switch d.Kind {
+	case Normal:
+		return d.Mu + d.Sigma*z
+	case LogNormal:
+		return math.Exp(d.Mu + d.Sigma*z)
+	case Uniform:
+		return d.Lo + (d.Hi-d.Lo)*NormalCDF(z)
+	}
+	panic("stat: unknown distribution kind")
+}
+
+// ToNormal maps a physical value x back to the standard normal space.
+// It is the exact inverse of ToPhysical on the distribution's support.
+func (d Distribution) ToNormal(x float64) float64 {
+	switch d.Kind {
+	case Normal:
+		return (x - d.Mu) / d.Sigma
+	case LogNormal:
+		return (math.Log(x) - d.Mu) / d.Sigma
+	case Uniform:
+		return NormalQuantile((x - d.Lo) / (d.Hi - d.Lo))
+	}
+	panic("stat: unknown distribution kind")
+}
+
+// Mean returns the distribution's expectation.
+func (d Distribution) Mean() float64 {
+	switch d.Kind {
+	case Normal:
+		return d.Mu
+	case LogNormal:
+		return math.Exp(d.Mu + d.Sigma*d.Sigma/2)
+	case Uniform:
+		return (d.Lo + d.Hi) / 2
+	}
+	panic("stat: unknown distribution kind")
+}

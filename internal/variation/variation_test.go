@@ -1,0 +1,154 @@
+package variation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testModel() *Model {
+	return &Model{
+		Globals: []Global{
+			{Name: "g.dVthN", Kind: VthShift, Polarity: +1, Sigma: 0.02},
+			{Name: "g.dBetaP", Kind: BetaRel, Polarity: -1, Sigma: 0.03},
+		},
+		Locals: []Local{
+			{Name: "M1.dVth", Device: "M1", Kind: VthShift, A: 10e-3},
+			{Name: "M1.dBeta", Device: "M1", Kind: BetaRel, A: 0.012},
+			{Name: "M2.dVth", Device: "M2", Kind: VthShift, A: 10e-3},
+		},
+	}
+}
+
+func geom(device string) (float64, float64) {
+	switch device {
+	case "M1":
+		return 10e-6, 1e-6 // 10 µm²
+	case "M2":
+		return 40e-6, 2.5e-6 // 100 µm²
+	}
+	panic("unknown device")
+}
+
+func TestDimAndNames(t *testing.T) {
+	m := testModel()
+	if m.Dim() != 5 {
+		t.Fatalf("dim = %d", m.Dim())
+	}
+	names := m.Names()
+	if names[0] != "g.dVthN" || names[4] != "M2.dVth" {
+		t.Errorf("names = %v", names)
+	}
+	if m.LocalIndex("M2.dVth") != 4 {
+		t.Errorf("LocalIndex = %d", m.LocalIndex("M2.dVth"))
+	}
+	if m.LocalIndex("nope") != -1 {
+		t.Error("missing local should be -1")
+	}
+}
+
+func TestPelgromSigmas(t *testing.T) {
+	// A_VT = 10 mV·µm over 100 µm² → σ = 1 mV.
+	if got := SigmaVth(10e-3, 40e-6, 2.5e-6); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("SigmaVth = %v want 1e-3", got)
+	}
+	// A_β = 1.2 %·µm over 10 µm² → σ ≈ 0.3795 %.
+	want := 0.012 / math.Sqrt(10)
+	if got := SigmaBeta(0.012, 10e-6, 1e-6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SigmaBeta = %v want %v", got, want)
+	}
+}
+
+// Property: Pelgrom sigma scales as 1/√area — quadrupling the area halves
+// the sigma.
+func TestPelgromAreaLawProperty(t *testing.T) {
+	f := func(wRaw, lRaw float64) bool {
+		w := 1e-6 * (1 + math.Abs(math.Mod(wRaw, 100)))
+		l := 1e-6 * (1 + math.Abs(math.Mod(lRaw, 10)))
+		s1 := SigmaVth(10e-3, w, l)
+		s2 := SigmaVth(10e-3, 2*w, 2*l)
+		return math.Abs(s1/s2-2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhysicalMapping(t *testing.T) {
+	m := testModel()
+	shat := []float64{1, -2, 3, 0.5, -1}
+	deltas := m.Physical(shat, geom)
+	if len(deltas) != 5 {
+		t.Fatalf("deltas = %d", len(deltas))
+	}
+	// Global 0: σ=0.02, ŝ=1.
+	if deltas[0].Value != 0.02 || deltas[0].Polarity != 1 || deltas[0].Device != "" {
+		t.Errorf("delta[0] = %+v", deltas[0])
+	}
+	// Local M1.dVth: σ = 10mV/√10, ŝ=3.
+	want := 3 * 10e-3 / math.Sqrt(10)
+	if math.Abs(deltas[2].Value-want) > 1e-12 || deltas[2].Device != "M1" {
+		t.Errorf("delta[2] = %+v want value %v", deltas[2], want)
+	}
+	// Local M2.dVth: σ = 1mV (bigger area), ŝ=-1.
+	if math.Abs(deltas[4].Value+1e-3) > 1e-12 {
+		t.Errorf("delta[4] = %+v", deltas[4])
+	}
+}
+
+func TestPhysicalPanicsOnWrongDim(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testModel().Physical([]float64{1, 2}, geom)
+}
+
+func TestCovarianceDesignDependence(t *testing.T) {
+	m := testModel()
+	c := m.Covariance(geom)
+	if c.Rows != 5 || c.Cols != 5 {
+		t.Fatalf("shape %dx%d", c.Rows, c.Cols)
+	}
+	// Diagonal: globals then Pelgrom variances.
+	if math.Abs(c.At(0, 0)-0.0004) > 1e-12 {
+		t.Errorf("global variance = %v", c.At(0, 0))
+	}
+	sigmaM1 := 10e-3 / math.Sqrt(10)
+	if math.Abs(c.At(2, 2)-sigmaM1*sigmaM1) > 1e-15 {
+		t.Errorf("M1 variance = %v", c.At(2, 2))
+	}
+	// Off-diagonals vanish (spatially uncorrelated locals).
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i != j && c.At(i, j) != 0 {
+				t.Errorf("C[%d][%d] = %v", i, j, c.At(i, j))
+			}
+		}
+	}
+
+	// Growing M1 shrinks its variance but not M2's: C depends on d.
+	bigger := func(device string) (float64, float64) {
+		if device == "M1" {
+			return 40e-6, 1e-6
+		}
+		return geom(device)
+	}
+	c2 := m.Covariance(bigger)
+	if c2.At(2, 2) >= c.At(2, 2) {
+		t.Error("upsizing M1 must shrink its mismatch variance")
+	}
+	if c2.At(4, 4) != c.At(4, 4) {
+		t.Error("M2 variance must be unchanged")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if VthShift.String() != "dVth" || BetaRel.String() != "dBeta" {
+		t.Error("Kind labels wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,177 @@
+package specwise
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicProblemConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *Problem
+	}{
+		{"folded-cascode", FoldedCascode()},
+		{"miller", Miller()},
+		{"ota5", OTA()},
+	} {
+		if err := tc.p.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+		}
+		if tc.p.Name != tc.name {
+			t.Errorf("name = %q want %q", tc.p.Name, tc.name)
+		}
+		// Every built-in problem must evaluate cleanly at its initial
+		// design and nominal conditions.
+		vals, err := tc.p.Eval(tc.p.InitialDesign(), make([]float64, tc.p.NumStat()), tc.p.NominalTheta())
+		if err != nil {
+			t.Fatalf("%s eval: %v", tc.name, err)
+		}
+		if len(vals) != tc.p.NumSpecs() {
+			t.Errorf("%s: %d values for %d specs", tc.name, len(vals), tc.p.NumSpecs())
+		}
+	}
+}
+
+func TestOptimizeOTAPublicAPI(t *testing.T) {
+	p := OTA()
+	res, err := Optimize(p, Options{
+		ModelSamples:  2000,
+		VerifySamples: 100,
+		MaxIterations: 1,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) < 2 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	first, last := res.Iterations[0], res.Iterations[len(res.Iterations)-1]
+	if last.MCYield < first.MCYield {
+		t.Errorf("yield fell: %v -> %v", first.MCYield, last.MCYield)
+	}
+}
+
+func TestVerifyYieldPublicAPI(t *testing.T) {
+	p := OTA()
+	mc, err := VerifyYield(p, p.InitialDesign(), 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Estimate.Total != 60 {
+		t.Errorf("total = %d", mc.Estimate.Total)
+	}
+	if y := mc.Estimate.Yield(); y < 0 || y > 1 {
+		t.Errorf("yield = %v", y)
+	}
+	if len(mc.BadPerSpec) != p.NumSpecs() {
+		t.Errorf("bad-per-spec length %d", len(mc.BadPerSpec))
+	}
+}
+
+func TestAnalyzeMismatchPublicAPI(t *testing.T) {
+	p := OTA()
+	reports, err := AnalyzeMismatch(p, p.InitialDesign(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != p.NumSpecs() {
+		t.Fatalf("reports = %d want %d", len(reports), p.NumSpecs())
+	}
+	for _, r := range reports {
+		for i := 1; i < len(r.Pairs); i++ {
+			if r.Pairs[i].Value > r.Pairs[i-1].Value {
+				t.Errorf("spec %s: pairs not sorted", r.Spec)
+			}
+		}
+		for _, pm := range r.Pairs {
+			if pm.Value < 0 || pm.Value > 1 {
+				t.Errorf("measure out of range: %v", pm.Value)
+			}
+			// Like-kind pairing only.
+			kindK := pm.ParamK[strings.LastIndex(pm.ParamK, "."):]
+			kindL := pm.ParamL[strings.LastIndex(pm.ParamL, "."):]
+			if kindK != kindL {
+				t.Errorf("mixed-kind pair %s/%s", pm.ParamK, pm.ParamL)
+			}
+		}
+	}
+	top := TopPairs(reports, 4)
+	for i := 1; i < len(top); i++ {
+		if top[i].Value > top[i-1].Value {
+			t.Error("TopPairs not sorted")
+		}
+	}
+}
+
+func TestLikeKindPairsExcludesGlobals(t *testing.T) {
+	pairs := likeKindPairs([]string{"g.dVthN", "M1.dVth", "M2.dVth", "M1.dBeta", "M2.dBeta"})
+	for _, pr := range pairs {
+		if pr[0] == 0 || pr[1] == 0 {
+			t.Errorf("global parameter paired: %v", pr)
+		}
+	}
+	// Two kinds with two members each → exactly two pairs.
+	if len(pairs) != 2 {
+		t.Errorf("pairs = %v", pairs)
+	}
+}
+
+func TestDescribeProblem(t *testing.T) {
+	desc := DescribeProblem(OTA())
+	for _, want := range []string{"ota5", "spec", "design", "theta", "CMRR"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("description missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestEstimateRareFailure(t *testing.T) {
+	p := OTA()
+	// At the initial design the Power spec is extremely robust: plain MC
+	// sees zero failures, the IS estimate must resolve a tiny PFail.
+	rf, err := EstimateRareFailure(p, p.InitialDesign(), "Power", 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Beta < 3 {
+		t.Errorf("Power beta = %v; expected a robust spec", rf.Beta)
+	}
+	if rf.PFail < 0 || rf.PFail > 0.01 {
+		t.Errorf("PFail = %v; expected a small probability", rf.PFail)
+	}
+	if rf.Evals == 0 {
+		t.Error("no evaluations counted")
+	}
+	if _, err := EstimateRareFailure(p, p.InitialDesign(), "nope", 10, 1); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestAnalyzeCorners(t *testing.T) {
+	p := OTA()
+	corners, err := AnalyzeCorners(p, p.InitialDesign(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OTA: 2 globals → 4 skews; 2 theta axes → 4 corners + nominal = 5.
+	if len(corners) != 4*5 {
+		t.Fatalf("corners = %d want 20", len(corners))
+	}
+	anyFail := false
+	for _, c := range corners {
+		if len(c.Values) != p.NumSpecs() {
+			t.Fatalf("corner %s has %d values", c.Name, len(c.Values))
+		}
+		if c.WorstSpec == "" {
+			t.Error("missing worst spec")
+		}
+		if !c.Pass {
+			anyFail = true
+		}
+	}
+	// The marginal initial OTA must fail somewhere at ±3σ skew corners.
+	if !anyFail {
+		t.Error("no corner failures at 3-sigma skew; initial OTA should be marginal")
+	}
+}
