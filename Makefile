@@ -1,0 +1,35 @@
+# Development targets. `make check` is the pre-merge gate: it runs the
+# tier-1 suite plus vet/format lint and the race-detector pass over the
+# concurrent service layers.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt check serve
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The jobs and server layers are the concurrency-heavy code paths; run
+# them under the race detector on every check.
+race:
+	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/core/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt test race
+
+# Run the yield-optimization daemon locally.
+serve:
+	$(GO) run ./cmd/specwised -addr :8080

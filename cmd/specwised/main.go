@@ -1,0 +1,72 @@
+// Command specwised is the yield-optimization daemon: it serves the
+// spec-wise-linearization optimizer over an HTTP JSON API with an async
+// job queue, a worker pool and a content-hash result cache.
+//
+// Usage:
+//
+//	specwised [-addr :8080] [-workers N] [-queue N]
+//
+// Submit a job and read it back:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"circuit":"ota",
+//	  "options":{"modelSamples":2000,"verifySamples":200,"maxIterations":2,"seed":7}}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/result
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/metrics
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are
+// cancelled through their contexts and the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specwise/internal/jobs"
+	"specwise/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := flag.Int("workers", 0, "optimizer workers (0 = half the CPUs)")
+	queue := flag.Int("queue", 64, "job queue capacity")
+	flag.Parse()
+
+	manager := jobs.New(jobs.Config{Workers: *workers, QueueSize: *queue})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(manager),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("specwised listening on %s", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Printf("signal %v: shutting down", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		manager.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -54,6 +55,28 @@ type Options struct {
 	Coord coord.Options
 	// Log, when non-nil, receives human-readable progress lines.
 	Log io.Writer
+	// Progress, when non-nil, receives one event after every completed
+	// analysis (the initial state and each accepted or rejected step).
+	// It is called synchronously from the optimizer goroutine.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one optimizer milestone, emitted through
+// Options.Progress so that long runs (e.g. jobs behind a service) can
+// report live state.
+type ProgressEvent struct {
+	// Stage is "initial", "accepted" or "rejected".
+	Stage string
+	// Iteration counts accepted optimizer states so far (0 = initial).
+	Iteration int
+	// Attempt counts linearize/search/line-search cycles tried.
+	Attempt int
+	// ModelYield is the linear-model yield estimate at the analyzed point.
+	ModelYield float64
+	// MCYield is the verified yield (-1 when verification is off).
+	MCYield float64
+	// Design is a copy of the analyzed design point.
+	Design []float64
 }
 
 func (o *Options) defaults() {
@@ -142,13 +165,39 @@ func (o *Optimizer) logf(format string, args ...any) {
 	}
 }
 
-// Run executes: feasible start (Sec. 5.5), then MaxIterations cycles of
-// constraint linearization (Eq. 15), worst-case analysis (Eqs. 2 and 8),
-// spec-wise linearization (Eq. 16, with Eqs. 21–22 mirrors), sampled-yield
-// coordinate search (Eqs. 17–20) and a simulation-based line search
-// (Eq. 23). The state before each cycle — and the final state — is
-// recorded, so a run with MaxIterations=2 yields the three table blocks.
+// Run executes the optimization without external cancellation; see
+// RunContext.
 func (o *Optimizer) Run() (*Result, error) {
+	return o.RunContext(context.Background())
+}
+
+// emit forwards a progress event to the Options.Progress hook, if set.
+func (o *Optimizer) emit(stage string, iteration, attempt int, it *Iteration) {
+	if o.opts.Progress == nil {
+		return
+	}
+	o.opts.Progress(ProgressEvent{
+		Stage:      stage,
+		Iteration:  iteration,
+		Attempt:    attempt,
+		ModelYield: it.ModelYield,
+		MCYield:    it.MCYield,
+		Design:     append([]float64(nil), it.Design...),
+	})
+}
+
+// RunContext executes: feasible start (Sec. 5.5), then MaxIterations
+// cycles of constraint linearization (Eq. 15), worst-case analysis
+// (Eqs. 2 and 8), spec-wise linearization (Eq. 16, with Eqs. 21–22
+// mirrors), sampled-yield coordinate search (Eqs. 17–20) and a
+// simulation-based line search (Eq. 23). The state before each cycle —
+// and the final state — is recorded, so a run with MaxIterations=2
+// yields the three table blocks.
+//
+// Cancelling ctx stops the run promptly — between optimizer stages and
+// between individual Monte-Carlo verification samples — and returns
+// ctx.Err().
+func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	p := o.p
 	opts := o.opts
 	res := &Result{Problem: o.problem}
@@ -177,15 +226,19 @@ func (o *Optimizer) Run() (*Result, error) {
 		return it.MCYield
 	}
 
-	cur, _, est, err := o.analyze(d, seed)
+	cur, _, est, err := o.analyze(ctx, d, seed)
 	if err != nil {
 		return nil, err
 	}
 	o.logf("initial: model yield %.4f, MC yield %.4f", cur.ModelYield, cur.MCYield)
 	res.Iterations = append(res.Iterations, *cur)
+	o.emit("initial", 0, 0, cur)
 
 	rejections := 0
 	for accepted, attempt := 0, 0; accepted < opts.MaxIterations && attempt < opts.MaxIterations+4; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Linearize the feasibility region at the current point (Eq. 15).
 		var lc *coord.LinearConstraints
 		if p.Constraints != nil {
@@ -216,7 +269,7 @@ func (o *Optimizer) Run() (*Result, error) {
 			dNew = p.ClampDesign(sr.D)
 		}
 
-		next, _, estNew, err := o.analyze(dNew, seed+uint64(attempt)+1)
+		next, _, estNew, err := o.analyze(ctx, dNew, seed+uint64(attempt)+1)
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +284,7 @@ func (o *Optimizer) Run() (*Result, error) {
 			rejections++
 			o.logf("attempt %d: yield regressed (%.4f < %.4f); trust -> %.2f",
 				attempt, score(next), score(cur), newTrust)
+			o.emit("rejected", accepted, attempt+1, next)
 			if newTrust < 1.2 || rejections > 3 {
 				break
 			}
@@ -245,6 +299,7 @@ func (o *Optimizer) Run() (*Result, error) {
 		cur, est = next, estNew
 		res.Iterations = append(res.Iterations, *cur)
 		accepted++
+		o.emit("accepted", accepted, attempt+1, cur)
 	}
 
 	res.FinalDesign = d
@@ -276,9 +331,12 @@ func designBox(p *Problem) coord.Box {
 
 // analyze performs the worst-case analysis and model build at design d and
 // assembles the iteration record (including the optional MC verification).
-func (o *Optimizer) analyze(d []float64, seed uint64) (*Iteration, []*linmodel.SpecModel, *linmodel.Estimator, error) {
+func (o *Optimizer) analyze(ctx context.Context, d []float64, seed uint64) (*Iteration, []*linmodel.SpecModel, *linmodel.Estimator, error) {
 	p := o.p
 	opts := o.opts
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Worst-case operating points (Eq. 2) at the nominal statistical point.
 	zeroS := make([]float64, p.NumStat())
@@ -304,6 +362,9 @@ func (o *Optimizer) analyze(d []float64, seed uint64) (*Iteration, []*linmodel.S
 			defer wg.Done()
 			theta := thetaRes.PerSpec[i]
 			marginFn := func(s []float64) (float64, error) {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
 				vals, err := p.Eval(d, s, theta)
 				if err != nil {
 					return 0, err
@@ -320,6 +381,9 @@ func (o *Optimizer) analyze(d []float64, seed uint64) (*Iteration, []*linmodel.S
 		if err != nil {
 			return nil, nil, nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
 	}
 
 	// Spec-wise linear models (Eq. 16 / Eqs. 21–22).
@@ -358,7 +422,7 @@ func (o *Optimizer) analyze(d []float64, seed uint64) (*Iteration, []*linmodel.S
 
 	iter.MCYield = -1
 	if !opts.SkipVerify {
-		mc, err := VerifyMC(p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef)
+		mc, err := VerifyMCContext(ctx, p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -25,16 +26,26 @@ type MCResult struct {
 	Evals int
 }
 
-// VerifyMC runs the simulation-based Monte-Carlo analysis of Sec. 2 at
-// design d with n samples. thetas[i] is spec i's worst-case operating
-// point; specs sharing a corner share simulations, matching the paper's
-// observation that N* stays well below N·n_spec.
+// VerifyMC runs the Monte-Carlo verification without external
+// cancellation; see VerifyMCContext.
+func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (*MCResult, error) {
+	return VerifyMCContext(context.Background(), p, d, thetas, n, seed)
+}
+
+// VerifyMCContext runs the simulation-based Monte-Carlo analysis of
+// Sec. 2 at design d with n samples. thetas[i] is spec i's worst-case
+// operating point; specs sharing a corner share simulations, matching the
+// paper's observation that N* stays well below N·n_spec.
 //
 // Samples are evaluated on a worker pool (the paper ran its verification
 // on a cluster of five machines; here the workers are goroutines). The
 // sample stream is drawn up front, so the result is bit-identical for any
 // worker count.
-func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (*MCResult, error) {
+//
+// Cancelling ctx stops the pool between samples: the feeder quits, every
+// worker drains and exits, and the call returns ctx.Err() — no goroutine
+// outlives the call, even on early cancellation.
+func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (*MCResult, error) {
 	unique, specToUnique := wcd.DistinctThetas(thetas)
 	r := rng.New(seed)
 	res := &MCResult{
@@ -58,6 +69,9 @@ func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (
 	if workers > n {
 		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -65,6 +79,9 @@ func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain; the feeder is already stopping
+				}
 				out := make([][]float64, len(unique))
 				for u, theta := range unique {
 					v, err := p.Eval(d, samples[j], theta)
@@ -78,11 +95,22 @@ func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (
 			}
 		}()
 	}
-	for j := 0; j < n; j++ {
-		jobs <- j
-	}
-	close(jobs)
+	// The feeder runs in its own goroutine guarded by ctx so that an early
+	// return below can never strand workers on a send.
+	go func() {
+		defer close(jobs)
+		for j := 0; j < n; j++ {
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	pass := 0
 	for j := 0; j < n; j++ {

@@ -1,0 +1,258 @@
+// Package jobs turns the specwise optimizer into an asynchronous job
+// service: submitted yield-analysis and yield-optimization requests are
+// enqueued into a bounded queue, executed by a worker pool (each worker
+// running the core optimizer with context cancellation and live progress
+// reporting), and kept in an in-memory store with a deterministic
+// content-hash result cache — identical (problem, seed, options)
+// submissions are answered instantly. The paper farmed its verification
+// Monte-Carlo out to a cluster of five machines; this package is the
+// same idea with goroutines for workers and an HTTP layer on top
+// (internal/server).
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"specwise/internal/core"
+	"specwise/internal/report"
+)
+
+// Job kinds.
+const (
+	// KindOptimize runs the full Fig.-6 yield optimization.
+	KindOptimize = "optimize"
+	// KindVerify runs the Sec.-2 Monte-Carlo yield verification at the
+	// problem's initial design.
+	KindVerify = "verify"
+)
+
+// RunOptions is the JSON-facing subset of core.Options a request may set.
+// Zero values fall back to the optimizer's paper defaults.
+type RunOptions struct {
+	ModelSamples       int    `json:"modelSamples,omitempty"`
+	VerifySamples      int    `json:"verifySamples,omitempty"`
+	MaxIterations      int    `json:"maxIterations,omitempty"`
+	Seed               uint64 `json:"seed,omitempty"`
+	NoConstraints      bool   `json:"noConstraints,omitempty"`
+	LinearizeAtNominal bool   `json:"linearizeAtNominal,omitempty"`
+	NoMirrorSpecs      bool   `json:"noMirrorSpecs,omitempty"`
+	SkipVerify         bool   `json:"skipVerify,omitempty"`
+	LHS                bool   `json:"lhs,omitempty"`
+	QuadraticSpecs     bool   `json:"quadraticSpecs,omitempty"`
+	RefineThetaPasses  int    `json:"refineThetaPasses,omitempty"`
+}
+
+// Core converts the wire options into optimizer options.
+func (o RunOptions) Core() core.Options {
+	return core.Options{
+		ModelSamples:       o.ModelSamples,
+		VerifySamples:      o.VerifySamples,
+		MaxIterations:      o.MaxIterations,
+		Seed:               o.Seed,
+		NoConstraints:      o.NoConstraints,
+		LinearizeAtNominal: o.LinearizeAtNominal,
+		NoMirrorSpecs:      o.NoMirrorSpecs,
+		SkipVerify:         o.SkipVerify,
+		LHS:                o.LHS,
+		QuadraticSpecs:     o.QuadraticSpecs,
+		RefineThetaPasses:  o.RefineThetaPasses,
+	}
+}
+
+// Request is one job submission: a kind, a problem (a built-in circuit
+// name or an inline yieldspec JSON document), and run options.
+type Request struct {
+	Kind    string          `json:"kind,omitempty"`
+	Circuit string          `json:"circuit,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Options RunOptions      `json:"options"`
+}
+
+// Normalize fills defaults and checks structural validity.
+func (r *Request) Normalize() error {
+	switch r.Kind {
+	case "":
+		r.Kind = KindOptimize
+	case KindOptimize, KindVerify:
+	default:
+		return fmt.Errorf("jobs: unknown kind %q (want %q or %q)", r.Kind, KindOptimize, KindVerify)
+	}
+	r.Circuit = strings.ToLower(strings.TrimSpace(r.Circuit))
+	hasCircuit := r.Circuit != ""
+	hasSpec := len(r.Spec) > 0 && string(r.Spec) != "null"
+	if hasCircuit == hasSpec {
+		return fmt.Errorf("jobs: exactly one of circuit or spec is required")
+	}
+	return nil
+}
+
+// Hash returns the deterministic content hash that keys the result
+// cache: two requests hash equally iff they describe the same problem,
+// kind, seed and options. The inline spec is compacted first so
+// whitespace-only differences do not defeat the cache.
+func (r *Request) Hash() (string, error) {
+	norm := *r
+	if len(norm.Spec) > 0 {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, norm.Spec); err != nil {
+			return "", fmt.Errorf("jobs: spec is not valid JSON: %w", err)
+		}
+		norm.Spec = json.RawMessage(buf.Bytes())
+	}
+	blob, err := json.Marshal(&norm)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state can no longer change.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ProgressEntry is one recorded optimizer milestone.
+type ProgressEntry struct {
+	Time       time.Time `json:"time"`
+	Stage      string    `json:"stage"`
+	Iteration  int       `json:"iteration"`
+	Attempt    int       `json:"attempt"`
+	ModelYield float64   `json:"modelYield"`
+	MCYield    *float64  `json:"mcYield,omitempty"`
+}
+
+// Result is a finished job's payload; exactly one branch is set,
+// matching the request kind.
+type Result struct {
+	Kind         string               `json:"kind"`
+	Optimization *report.Result       `json:"optimization,omitempty"`
+	Verification *report.Verification `json:"verification,omitempty"`
+}
+
+// Status is the JSON-friendly snapshot served by GET /v1/jobs/{id}.
+type Status struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       State           `json:"state"`
+	Cached      bool            `json:"cached,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	EnqueuedAt  time.Time       `json:"enqueuedAt"`
+	StartedAt   *time.Time      `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time      `json:"finishedAt,omitempty"`
+	WallSeconds float64         `json:"wallSeconds,omitempty"`
+	Progress    []ProgressEntry `json:"progress,omitempty"`
+}
+
+// Job is one tracked submission. All mutable fields are guarded by mu;
+// accessors take snapshots so HTTP handlers never race the worker.
+type Job struct {
+	id   string
+	hash string
+	req  Request
+
+	problem *core.Problem // resolved at submit time
+
+	mu       sync.Mutex
+	state    State
+	err      string
+	cached   bool
+	cancel   func() // non-nil while running
+	progress []ProgressEntry
+	result   *Result
+
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Hash returns the request's content hash (the cache key).
+func (j *Job) Hash() string { return j.hash }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Result returns the payload and whether the job is done.
+func (j *Job) Result() (*Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// Err returns the failure message, if any.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Status snapshots the job for serialization.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.id,
+		Kind:       j.req.Kind,
+		State:      j.state,
+		Cached:     j.cached,
+		Error:      j.err,
+		EnqueuedAt: j.enqueued,
+		Progress:   append([]ProgressEntry(nil), j.progress...),
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+		st.WallSeconds = j.finished.Sub(j.started).Seconds()
+	} else if !j.started.IsZero() {
+		st.WallSeconds = time.Since(j.started).Seconds()
+	}
+	return st
+}
+
+// addProgress appends one milestone; called from the optimizer goroutine.
+func (j *Job) addProgress(e core.ProgressEvent) {
+	entry := ProgressEntry{
+		Time:       time.Now(),
+		Stage:      e.Stage,
+		Iteration:  e.Iteration,
+		Attempt:    e.Attempt,
+		ModelYield: e.ModelYield,
+	}
+	if e.MCYield >= 0 {
+		v := e.MCYield
+		entry.MCYield = &v
+	}
+	j.mu.Lock()
+	j.progress = append(j.progress, entry)
+	j.mu.Unlock()
+}

@@ -1,0 +1,304 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"specwise/internal/core"
+)
+
+// testProblem is a cheap two-spec analytic problem (the optimizer-test
+// fixture) with an optional per-evaluation delay so cancellation tests
+// have something to interrupt.
+func testProblem(evalDelay time.Duration) *core.Problem {
+	return &core.Problem{
+		Name: "analytic",
+		Specs: []core.Spec{
+			{Name: "f", Kind: core.GE, Bound: 0},
+			{Name: "g", Kind: core.GE, Bound: 0},
+		},
+		Design: []core.Param{
+			{Name: "d0", Init: 0, Lo: -1, Hi: 10},
+			{Name: "d1", Init: 0, Lo: -1, Hi: 10},
+		},
+		StatNames: []string{"s0", "s1"},
+		Theta:     []core.OpRange{{Name: "t", Nominal: 0, Lo: -1, Hi: 1}},
+		Eval: func(d, s, th []float64) ([]float64, error) {
+			if evalDelay > 0 {
+				time.Sleep(evalDelay)
+			}
+			f := d[0] - 2 + 0.5*s[0] - 0.1*th[0]
+			g := 6 - d[0] - d[1] + 0.5*s[1] - 0.1*th[0]
+			return []float64{f, g}, nil
+		},
+	}
+}
+
+func testManager(t *testing.T, cfg Config, delay time.Duration) *Manager {
+	t.Helper()
+	if cfg.Resolve == nil {
+		cfg.Resolve = func(req *Request) (*core.Problem, error) {
+			return testProblem(delay), nil
+		}
+	}
+	m := New(cfg)
+	t.Cleanup(m.Close)
+	return m
+}
+
+// waitState polls until the job reaches a terminal state or the deadline
+// passes, returning the final state.
+func waitState(t *testing.T, j *Job, timeout time.Duration) State {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st := j.State(); st.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return j.State()
+}
+
+var quickOpts = RunOptions{ModelSamples: 500, VerifySamples: 50, MaxIterations: 1, Seed: 7}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	m := testManager(t, Config{Workers: 2}, 0)
+	job, err := m.Submit(Request{Circuit: "analytic", Options: quickOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, job, 10*time.Second); st != StateDone {
+		t.Fatalf("state = %v (err %q), want done", st, job.Err())
+	}
+	res, ok := job.Result()
+	if !ok || res == nil || res.Optimization == nil {
+		t.Fatal("done job has no optimization result")
+	}
+	if res.Optimization.Problem != "analytic" {
+		t.Errorf("result problem = %q", res.Optimization.Problem)
+	}
+	if len(res.Optimization.Iterations) < 1 {
+		t.Error("result has no iterations")
+	}
+	st := job.Status()
+	if len(st.Progress) == 0 {
+		t.Error("no progress entries recorded")
+	}
+	if st.Progress[0].Stage != "initial" {
+		t.Errorf("first progress stage = %q, want initial", st.Progress[0].Stage)
+	}
+	if st.WallSeconds <= 0 {
+		t.Error("wall time not recorded")
+	}
+	if got := m.Metrics().Done(); got != 1 {
+		t.Errorf("done counter = %d, want 1", got)
+	}
+}
+
+func TestIdenticalResubmissionHitsCache(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, 0)
+	req := Request{Circuit: "analytic", Options: quickOpts}
+	first, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, first, 10*time.Second); st != StateDone {
+		t.Fatalf("first job: state %v, err %q", st, first.Err())
+	}
+	if m.Metrics().CacheHits() != 0 {
+		t.Fatal("cache hit before any resubmission")
+	}
+
+	second, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit is answered synchronously: no queue, no worker.
+	if st := second.State(); st != StateDone {
+		t.Fatalf("resubmission state = %v, want done immediately", st)
+	}
+	if !second.Status().Cached {
+		t.Error("resubmission not flagged as cached")
+	}
+	if got := m.Metrics().CacheHits(); got != 1 {
+		t.Errorf("cache-hit counter = %d, want 1", got)
+	}
+	r1, _ := first.Result()
+	r2, _ := second.Result()
+	b1, _ := json.Marshal(r1)
+	b2, _ := json.Marshal(r2)
+	if string(b1) != string(b2) {
+		t.Error("cached result differs from the original")
+	}
+
+	// A different seed is a different problem: it must miss.
+	miss := req
+	miss.Options.Seed = 8
+	third, err := m.Submit(miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Status().Cached {
+		t.Error("different options reported a cache hit")
+	}
+	waitState(t, third, 10*time.Second)
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	// Slow evaluations and a long verification give the cancel a wide
+	// in-flight window; the job must still wind down promptly.
+	m := testManager(t, Config{Workers: 1}, 200*time.Microsecond)
+	job, err := m.Submit(Request{Circuit: "analytic", Options: RunOptions{
+		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 3,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for job.State() != StateRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if job.State() != StateRunning {
+		t.Fatalf("job never started (state %v)", job.State())
+	}
+	start := time.Now()
+	if err := m.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, job, 5*time.Second); st != StateCanceled {
+		t.Fatalf("state after cancel = %v, want canceled", st)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Errorf("cancellation took %v", took)
+	}
+	if got := m.Metrics().Canceled(); got != 1 {
+		t.Errorf("canceled counter = %d, want 1", got)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, 500*time.Microsecond)
+	// Occupy the single worker.
+	blocker, err := m.Submit(Request{Circuit: "analytic", Options: RunOptions{
+		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.Submit(Request{Circuit: "analytic", Options: quickOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if st := queued.State(); st != StateCanceled {
+		t.Fatalf("queued job state after cancel = %v", st)
+	}
+	if err := m.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, blocker, 5*time.Second)
+}
+
+func TestQueueFull(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, QueueSize: 1}, 500*time.Microsecond)
+	slow := RunOptions{ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 1}
+	// Occupy the worker, then fill the single queue slot; the next
+	// submission must bounce with ErrQueueFull.
+	blocker, err := m.Submit(Request{Circuit: "analytic", Options: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for blocker.State() != StateRunning && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if blocker.State() != StateRunning {
+		t.Fatalf("blocker never started (state %v)", blocker.State())
+	}
+	filler := slow
+	filler.Seed = 2
+	queued, err := m.Submit(Request{Circuit: "analytic", Options: filler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejected := slow
+	rejected.Seed = 3
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: rejected}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
+	}
+	for _, id := range []string{queued.ID(), blocker.ID()} {
+		if err := m.Cancel(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitState(t, blocker, 5*time.Second)
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1}) // default resolver
+	defer m.Close()
+	cases := []Request{
+		{}, // neither circuit nor spec
+		{Circuit: "ota", Spec: json.RawMessage(`{}`)}, // both
+		{Circuit: "nonexistent"},                      // unknown circuit
+		{Kind: "frobnicate", Circuit: "ota"},
+		{Spec: json.RawMessage(`{"name": }`)}, // broken JSON spec
+	}
+	for i, req := range cases {
+		if _, err := m.Submit(req); err == nil {
+			t.Errorf("case %d: invalid request accepted", i)
+		}
+	}
+}
+
+func TestRequestHashNormalization(t *testing.T) {
+	a := Request{Kind: KindOptimize, Spec: json.RawMessage(`{"name":"x","netlist":"n"}`)}
+	b := Request{Kind: KindOptimize, Spec: json.RawMessage("{ \"name\": \"x\",\n  \"netlist\": \"n\" }")}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Error("whitespace-only spec difference changed the hash")
+	}
+	c := a
+	c.Options.Seed = 99
+	hc, err := c.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Error("different options hash equally")
+	}
+}
+
+func TestVerifyKind(t *testing.T) {
+	m := testManager(t, Config{Workers: 1}, 0)
+	job, err := m.Submit(Request{Kind: KindVerify, Circuit: "analytic",
+		Options: RunOptions{VerifySamples: 200, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, job, 10*time.Second); st != StateDone {
+		t.Fatalf("verify job state = %v, err %q", st, job.Err())
+	}
+	res, _ := job.Result()
+	if res == nil || res.Verification == nil {
+		t.Fatal("verify job has no verification result")
+	}
+	if res.Verification.Samples != 200 {
+		t.Errorf("samples = %d, want 200", res.Verification.Samples)
+	}
+	if res.Verification.Yield < 0 || res.Verification.Yield > 1 {
+		t.Errorf("yield = %v", res.Verification.Yield)
+	}
+}

@@ -1,0 +1,346 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"specwise/internal/circuits"
+	"specwise/internal/core"
+	"specwise/internal/report"
+	"specwise/internal/wcd"
+	"specwise/internal/yieldspec"
+)
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned when the bounded job queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrClosed is returned for submissions after Close.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound is returned for operations on unknown job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+)
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the number of concurrent optimizer workers
+	// (default: half the CPUs, at least 1).
+	Workers int
+	// QueueSize bounds the number of jobs waiting to run (default 64).
+	QueueSize int
+	// Resolve overrides problem resolution; tests inject cheap synthetic
+	// problems here. nil uses the built-in circuits and yieldspec.
+	Resolve func(req *Request) (*core.Problem, error)
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU() / 2
+		if c.Workers < 1 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Resolve == nil {
+		c.Resolve = ResolveProblem
+	}
+}
+
+// ResolveProblem is the default problem resolver: a built-in circuit
+// name or an inline yieldspec document. Inline specs must carry their
+// netlist inline too — a service request has no base directory to
+// resolve file references against.
+func ResolveProblem(req *Request) (*core.Problem, error) {
+	if req.Circuit != "" {
+		switch req.Circuit {
+		case "foldedcascode", "fc":
+			return circuits.FoldedCascodeProblem(), nil
+		case "miller":
+			return circuits.MillerProblem(), nil
+		case "ota":
+			return circuits.OTAProblem(), nil
+		default:
+			return nil, fmt.Errorf("jobs: unknown circuit %q (want foldedcascode, miller or ota)", req.Circuit)
+		}
+	}
+	return yieldspec.Parse(bytes.NewReader(req.Spec), ".")
+}
+
+// Manager owns the job store, the bounded queue, the worker pool and
+// the result cache.
+type Manager struct {
+	cfg     Config
+	ctx     context.Context
+	stop    context.CancelFunc
+	queue   chan *Job
+	wg      sync.WaitGroup
+	metrics Metrics
+
+	mu    sync.Mutex
+	jobs  map[string]*Job
+	cache map[string]*Result
+	seq   int
+}
+
+// New starts a manager with cfg.Workers workers. Call Close to stop.
+func New(cfg Config) *Manager {
+	cfg.defaults()
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		ctx:   ctx,
+		stop:  stop,
+		queue: make(chan *Job, cfg.QueueSize),
+		jobs:  make(map[string]*Job),
+		cache: make(map[string]*Result),
+	}
+	m.metrics.start = time.Now()
+	m.metrics.workers = cfg.Workers
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the service counters.
+func (m *Manager) Metrics() *Metrics { return &m.metrics }
+
+// Submit validates, resolves and enqueues a request. A request whose
+// content hash matches an already-completed job is answered from the
+// result cache: the returned job is immediately done and never occupies
+// a worker. ErrQueueFull is returned when the queue is at capacity.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := m.ctx.Err(); err != nil {
+		return nil, ErrClosed
+	}
+	if err := req.Normalize(); err != nil {
+		return nil, err
+	}
+	hash, err := req.Hash()
+	if err != nil {
+		return nil, err
+	}
+	// Resolve eagerly so a bad circuit name or malformed spec fails the
+	// submission itself, not the job later.
+	p, err := m.cfg.Resolve(&req)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	m.seq++
+	job := &Job{
+		id:       fmt.Sprintf("job-%06d", m.seq),
+		hash:     hash,
+		req:      req,
+		problem:  p,
+		enqueued: time.Now(),
+	}
+	if cached, ok := m.cache[hash]; ok {
+		job.state = StateDone
+		job.cached = true
+		job.result = cached
+		job.started = job.enqueued
+		job.finished = job.enqueued
+		m.jobs[job.id] = job
+		m.mu.Unlock()
+		m.metrics.submitted.Add(1)
+		m.metrics.cacheHits.Add(1)
+		m.metrics.done.Add(1)
+		return job, nil
+	}
+	job.state = StateQueued
+	m.jobs[job.id] = job
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- job:
+		m.metrics.submitted.Add(1)
+		m.metrics.queued.Add(1)
+		return job, nil
+	default:
+		m.mu.Lock()
+		delete(m.jobs, job.id)
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots the status of every tracked job, newest first.
+func (m *Manager) Jobs() []Status {
+	m.mu.Lock()
+	list := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		list = append(list, j)
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(list))
+	for i, j := range list {
+		out[i] = j.Status()
+	}
+	// Job IDs are zero-padded sequence numbers, so a lexical sort is a
+	// chronological sort.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Cancel stops a job: a queued job is marked canceled and skipped by
+// the workers; a running job has its context cancelled and winds down
+// within one optimizer stage (between Monte-Carlo samples at the
+// finest). Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) error {
+	j, ok := m.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.finished = time.Now()
+		j.started = j.finished
+		m.metrics.queued.Add(-1)
+		m.metrics.canceled.Add(1)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel() // the worker records the terminal state
+		}
+	}
+	return nil
+}
+
+// Close cancels every queued and running job and waits for the workers
+// to exit. Further submissions return ErrClosed.
+func (m *Manager) Close() {
+	m.stop()
+	m.wg.Wait()
+}
+
+// worker pulls jobs off the queue until the manager closes.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case job := <-m.queue:
+			m.run(job)
+		}
+	}
+}
+
+// run executes one job end to end.
+func (m *Manager) run(job *Job) {
+	ctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != StateQueued { // canceled while waiting
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.cancel = cancel
+	job.started = time.Now()
+	job.mu.Unlock()
+	m.metrics.queued.Add(-1)
+	m.metrics.running.Add(1)
+
+	result, err := m.execute(ctx, job)
+
+	finished := time.Now()
+	job.mu.Lock()
+	job.cancel = nil
+	job.finished = finished
+	wall := finished.Sub(job.started)
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		job.state = StateCanceled
+		job.err = "canceled"
+	default:
+		job.state = StateFailed
+		job.err = err.Error()
+	}
+	state := job.state
+	hash := job.hash
+	job.mu.Unlock()
+
+	m.metrics.running.Add(-1)
+	m.metrics.busyNanos.Add(int64(wall))
+	m.metrics.wallNanos.Add(int64(wall))
+	switch state {
+	case StateDone:
+		m.metrics.done.Add(1)
+		m.mu.Lock()
+		m.cache[hash] = result
+		m.mu.Unlock()
+	case StateCanceled:
+		m.metrics.canceled.Add(1)
+	default:
+		m.metrics.failed.Add(1)
+	}
+}
+
+// execute dispatches on the job kind.
+func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
+	switch job.req.Kind {
+	case KindVerify:
+		n := job.req.Options.VerifySamples
+		if n == 0 {
+			n = 300
+		}
+		seed := job.req.Options.Seed
+		if seed == 0 {
+			seed = 20010618 // the optimizer's default stream
+		}
+		p := job.problem
+		d := p.InitialDesign()
+		zeroS := make([]float64, p.NumStat())
+		thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mc, err := core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindVerify, Verification: report.JSONVerification(p, mc)}, nil
+
+	default: // KindOptimize
+		opts := job.req.Options.Core()
+		opts.Progress = job.addProgress
+		opt, err := core.NewOptimizer(job.problem, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := opt.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Kind: KindOptimize, Optimization: report.JSONResult(res)}, nil
+	}
+}

@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics holds the service counters exported on GET /metrics. All
+// fields are safe for concurrent use; the text rendering follows the
+// Prometheus exposition format (plain counters and gauges, no labels)
+// so any scraper — or a human with curl — can read it.
+type Metrics struct {
+	start   time.Time
+	workers int
+
+	submitted atomic.Int64 // every accepted Submit, cache hits included
+	queued    atomic.Int64 // gauge: waiting in the queue
+	running   atomic.Int64 // gauge: executing on a worker
+	done      atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	cacheHits atomic.Int64
+	busyNanos atomic.Int64 // total worker-occupied time
+	wallNanos atomic.Int64 // total per-job wall time (== busyNanos today,
+	// kept separate so sharded/remote workers can diverge)
+}
+
+// CacheHits returns the number of submissions answered from the cache.
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+
+// Done returns the number of jobs finished successfully.
+func (m *Metrics) Done() int64 { return m.done.Load() }
+
+// Failed returns the number of jobs that ended in error.
+func (m *Metrics) Failed() int64 { return m.failed.Load() }
+
+// Canceled returns the number of jobs canceled before completion.
+func (m *Metrics) Canceled() int64 { return m.canceled.Load() }
+
+// Utilization returns the busy fraction of the worker pool since start.
+func (m *Metrics) Utilization() float64 {
+	up := time.Since(m.start)
+	if up <= 0 || m.workers == 0 {
+		return 0
+	}
+	return float64(m.busyNanos.Load()) / (float64(up) * float64(m.workers))
+}
+
+// WriteText renders the counters in Prometheus exposition format.
+func (m *Metrics) WriteText(w io.Writer) {
+	finished := m.done.Load() + m.failed.Load() + m.canceled.Load()
+	wall := time.Duration(m.wallNanos.Load()).Seconds()
+	avg := 0.0
+	if finished > 0 {
+		avg = wall / float64(finished)
+	}
+	fmt.Fprintf(w, "specwised_jobs_submitted_total %d\n", m.submitted.Load())
+	fmt.Fprintf(w, "specwised_jobs_queued %d\n", m.queued.Load())
+	fmt.Fprintf(w, "specwised_jobs_running %d\n", m.running.Load())
+	fmt.Fprintf(w, "specwised_jobs_done_total %d\n", m.done.Load())
+	fmt.Fprintf(w, "specwised_jobs_failed_total %d\n", m.failed.Load())
+	fmt.Fprintf(w, "specwised_jobs_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "specwised_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "specwised_workers %d\n", m.workers)
+	fmt.Fprintf(w, "specwised_worker_busy_seconds_total %.6f\n",
+		time.Duration(m.busyNanos.Load()).Seconds())
+	fmt.Fprintf(w, "specwised_worker_utilization %.6f\n", m.Utilization())
+	fmt.Fprintf(w, "specwised_job_wall_seconds_total %.6f\n", wall)
+	fmt.Fprintf(w, "specwised_job_wall_seconds_avg %.6f\n", avg)
+	fmt.Fprintf(w, "specwised_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"math"
+
+	"specwise/internal/core"
+)
+
+// This file defines the JSON-serializable mirror of core.Result used by
+// the HTTP job service. The optimizer's native records hold models,
+// worst-case points and NaN sentinels that either do not belong on the
+// wire or do not survive encoding/json; Result flattens them into plain
+// numbers keyed by spec and parameter names.
+
+// DesignValue is one named design-parameter value.
+type DesignValue struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// SpecInfo describes one performance specification.
+type SpecInfo struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Op    string  `json:"op"` // ">=" or "<="
+	Bound float64 `json:"bound"`
+}
+
+// SpecState is one spec's situation at one iteration, mirroring the
+// per-spec rows of the paper's tables.
+type SpecState struct {
+	Name          string   `json:"name"`
+	NominalMargin float64  `json:"nominalMargin"`
+	BadPerMille   float64  `json:"badPerMille"`
+	Beta          float64  `json:"beta"`
+	MCMean        *float64 `json:"mcMean,omitempty"`
+	MCSigma       *float64 `json:"mcSigma,omitempty"`
+	MCBad         int      `json:"mcBad,omitempty"`
+}
+
+// IterationRecord is one optimizer state ("Initial", "1st Iter.", ...).
+type IterationRecord struct {
+	Label      string        `json:"label"`
+	Design     []DesignValue `json:"design"`
+	ModelYield float64       `json:"modelYield"`
+	// MCYield is the verified yield with its Wilson interval; all three
+	// are absent when verification was skipped.
+	MCYield   *float64    `json:"mcYield,omitempty"`
+	MCYieldLo *float64    `json:"mcYieldLo,omitempty"`
+	MCYieldHi *float64    `json:"mcYieldHi,omitempty"`
+	Specs     []SpecState `json:"specs"`
+}
+
+// Result is the full JSON-serializable record of an optimization run.
+type Result struct {
+	Problem        string            `json:"problem"`
+	Specs          []SpecInfo        `json:"specs"`
+	Iterations     []IterationRecord `json:"iterations"`
+	FinalDesign    []DesignValue     `json:"finalDesign"`
+	Simulations    int64             `json:"simulations"`
+	ConstraintSims int64             `json:"constraintSims"`
+}
+
+// num returns a pointer to v, or nil when v is not a finite number —
+// encoding/json rejects NaN and ±Inf, so they become absent fields.
+func num(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// JSONResult flattens a core.Result into its wire form.
+func JSONResult(res *core.Result) *Result {
+	p := res.Problem
+	out := &Result{
+		Problem:        p.Name,
+		Simulations:    res.Simulations,
+		ConstraintSims: res.ConstraintSims,
+	}
+	for _, s := range p.Specs {
+		op := ">="
+		if s.Kind == core.LE {
+			op = "<="
+		}
+		out.Specs = append(out.Specs, SpecInfo{Name: s.Name, Unit: s.Unit, Op: op, Bound: s.Bound})
+	}
+	design := func(d []float64) []DesignValue {
+		vals := make([]DesignValue, len(p.Design))
+		for k, prm := range p.Design {
+			vals[k] = DesignValue{Name: prm.Name, Unit: prm.Unit, Value: d[k]}
+		}
+		return vals
+	}
+	for i, it := range res.Iterations {
+		rec := IterationRecord{
+			Label:      blockLabel(i),
+			Design:     design(it.Design),
+			ModelYield: it.ModelYield,
+		}
+		verified := it.MCYield >= 0
+		if verified {
+			rec.MCYield = num(it.MCYield)
+			if it.MCResult != nil {
+				rec.MCYieldLo = num(it.MCResult.Estimate.Lo)
+				rec.MCYieldHi = num(it.MCResult.Estimate.Hi)
+			}
+		}
+		for j, st := range it.Specs {
+			ss := SpecState{
+				Name:          p.Specs[j].Name,
+				NominalMargin: st.NominalMargin,
+				BadPerMille:   st.BadPerMille,
+				Beta:          st.Beta,
+			}
+			if verified {
+				ss.MCMean = num(st.MCMean)
+				ss.MCSigma = num(st.MCSigma)
+				ss.MCBad = st.MCBad
+			}
+			rec.Specs = append(rec.Specs, ss)
+		}
+		out.Iterations = append(out.Iterations, rec)
+	}
+	out.FinalDesign = design(res.FinalDesign)
+	return out
+}
+
+// SpecMC is one spec's Monte-Carlo verification summary.
+type SpecMC struct {
+	Name  string   `json:"name"`
+	Bad   int      `json:"bad"`
+	Mean  *float64 `json:"mean,omitempty"`
+	Sigma *float64 `json:"sigma,omitempty"`
+}
+
+// Verification is the JSON-serializable record of a standalone
+// Monte-Carlo yield verification.
+type Verification struct {
+	Problem string   `json:"problem"`
+	Yield   float64  `json:"yield"`
+	YieldLo float64  `json:"yieldLo"`
+	YieldHi float64  `json:"yieldHi"`
+	Samples int      `json:"samples"`
+	Evals   int      `json:"evals"`
+	Specs   []SpecMC `json:"specs"`
+}
+
+// JSONVerification flattens a core.MCResult into its wire form.
+func JSONVerification(p *core.Problem, mc *core.MCResult) *Verification {
+	out := &Verification{
+		Problem: p.Name,
+		Yield:   mc.Estimate.Yield(),
+		YieldLo: mc.Estimate.Lo,
+		YieldHi: mc.Estimate.Hi,
+		Samples: mc.Estimate.Total,
+		Evals:   mc.Evals,
+	}
+	for i, s := range p.Specs {
+		sm := SpecMC{Name: s.Name, Bad: mc.BadPerSpec[i]}
+		sm.Mean = num(mc.Moments[i].Mean())
+		sm.Sigma = num(mc.Moments[i].Sigma())
+		out.Specs = append(out.Specs, sm)
+	}
+	return out
+}

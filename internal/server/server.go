@@ -1,0 +1,162 @@
+// Package server exposes the jobs subsystem over an HTTP JSON API — the
+// service face of the yield optimizer. Endpoints:
+//
+//	POST   /v1/jobs             submit a job (202; body echoes id + state)
+//	GET    /v1/jobs             list job statuses, newest first
+//	GET    /v1/jobs/{id}        status + live progress trace
+//	GET    /v1/jobs/{id}/result final report (409 until the job is done)
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via context)
+//	GET    /healthz             liveness probe
+//	GET    /metrics             plain-text counters (Prometheus exposition format)
+//
+// Request body for POST /v1/jobs (see internal/jobs for the full schema):
+//
+//	{"kind": "optimize", "circuit": "ota",
+//	 "options": {"modelSamples": 2000, "verifySamples": 200,
+//	             "maxIterations": 2, "seed": 7}}
+//
+// or, with an inline problem definition instead of a built-in circuit:
+//
+//	{"kind": "verify", "spec": { ...yieldspec JSON with inline netlist... }}
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"specwise/internal/jobs"
+)
+
+// Server is the HTTP face of a jobs.Manager.
+type Server struct {
+	manager *jobs.Manager
+	mux     *http.ServeMux
+}
+
+// New builds the handler tree over a running manager.
+func New(m *jobs.Manager) *Server {
+	s := &Server{manager: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs", s.list)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON sends v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection is gone if this fails
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+// submitResponse acknowledges a submission.
+type submitResponse struct {
+	ID     string     `json:"id"`
+	State  jobs.State `json:"state"`
+	Cached bool       `json:"cached"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	job, err := s.manager.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if st := job.State(); st.Terminal() {
+		code = http.StatusOK // cache hit: the result is ready right now
+	}
+	writeJSON(w, code, submitResponse{ID: job.ID(), State: job.State(), Cached: job.Status().Cached})
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Jobs())
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	res, done := job.Result()
+	if done {
+		writeJSON(w, http.StatusOK, res)
+		return
+	}
+	switch st := job.State(); st {
+	case jobs.StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: "+job.Err())
+	case jobs.StateCanceled:
+		writeError(w, http.StatusConflict, "job was canceled")
+	default:
+		writeError(w, http.StatusConflict, "job not finished (state "+string(st)+")")
+	}
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	err := s.manager.Cancel(id)
+	if errors.Is(err, jobs.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	job, _ := s.manager.Get(id)
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.manager.Metrics().WriteText(w)
+}

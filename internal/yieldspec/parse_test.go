@@ -1,0 +1,114 @@
+package yieldspec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The Parse entry point must reject malformed documents with a
+// yieldspec-prefixed error rather than panicking or silently defaulting.
+func TestParseErrorCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		errFrag string
+	}{
+		{"bad JSON", `{"name": "x",`, "yieldspec"},
+		{"wrong type", `{"name": 42}`, "yieldspec"},
+		{"missing netlist", strings.Replace(csAmpConfig,
+			`"netlist": "common source amplifier\n.model nch NMOS VT0=0.71 KP=120u LAMBDA=0.06\nVDD vdd 0 3.3\nVIN g 0 1.0 AC 1\nM1 d g 0 0 nch W=20u L=2u\nRL vdd d 47k\nCL d 0 1p\n",`,
+			``, 1), "netlist or netlistFile is required"},
+		{"netlist file not found", strings.Replace(csAmpConfig,
+			`"netlist": "common source amplifier\n.model nch NMOS VT0=0.71 KP=120u LAMBDA=0.06\nVDD vdd 0 3.3\nVIN g 0 1.0 AC 1\nM1 d g 0 0 nch W=20u L=2u\nRL vdd d 47k\nCL d 0 1p\n"`,
+			`"netlistFile": "does-not-exist.cir"`, 1), "does-not-exist.cir"},
+		{"unknown spec kind", strings.Replace(csAmpConfig,
+			`"kind": "ge", "bound": 17`, `"kind": "between", "bound": 17`, 1),
+			"kind must be ge or le"},
+		{"unknown measure", strings.Replace(csAmpConfig,
+			`"measure": "a0_db"`, `"measure": "thd_pct"`, 1),
+			"unknown measure"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p, err := Parse(strings.NewReader(c.src), ".")
+			if err == nil {
+				t.Fatalf("Parse accepted %s (problem %v)", c.name, p.Name)
+			}
+			if !strings.Contains(err.Error(), c.errFrag) {
+				t.Errorf("error %q missing %q", err, c.errFrag)
+			}
+		})
+	}
+}
+
+// Load is a thin wrapper over Parse: it must resolve netlistFile
+// references relative to the config file's own directory.
+func TestLoadResolvesRelativeNetlist(t *testing.T) {
+	dir := t.TempDir()
+	netlist := `common source amplifier
+.model nch NMOS VT0=0.71 KP=120u LAMBDA=0.06
+VDD vdd 0 3.3
+VIN g 0 1.0 AC 1
+M1 d g 0 0 nch W=20u L=2u
+RL vdd d 47k
+CL d 0 1p
+`
+	if err := os.WriteFile(filepath.Join(dir, "amp.cir"), []byte(netlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := strings.Replace(csAmpConfig,
+		`"netlist": "common source amplifier\n.model nch NMOS VT0=0.71 KP=120u LAMBDA=0.06\nVDD vdd 0 3.3\nVIN g 0 1.0 AC 1\nM1 d g 0 0 nch W=20u L=2u\nRL vdd d 47k\nCL d 0 1p\n"`,
+		`"netlistFile": "amp.cir"`, 1)
+	if cfg == csAmpConfig {
+		t.Fatal("fixture replacement did not apply")
+	}
+	path := filepath.Join(dir, "amp.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "cs-amp" || p.NumSpecs() != 4 {
+		t.Errorf("loaded problem %q with %d specs, want cs-amp with 4", p.Name, p.NumSpecs())
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("Load of a missing file must fail")
+	}
+}
+
+// Parse and Load must agree bit-for-bit on the same document.
+func TestParseLoadEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "amp.json")
+	if err := os.WriteFile(path, []byte(csAmpConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromLoad, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromParse, err := Parse(strings.NewReader(csAmpConfig), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := fromLoad.InitialDesign()
+	th := fromLoad.NominalTheta()
+	s := make([]float64, fromLoad.NumStat())
+	a, err := fromLoad.Eval(d, s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fromParse.Eval(d, s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("spec %d: Load gives %v, Parse gives %v", i, a[i], b[i])
+		}
+	}
+}

@@ -156,24 +156,30 @@ type Constraints struct {
 	Disable bool `json:"disable"`
 }
 
-// Load reads a JSON config file and builds the problem. Relative
-// netlistFile paths resolve against the config file's directory.
+// Load reads a JSON config file and builds the problem. It is a thin
+// wrapper over Parse; relative netlistFile paths resolve against the
+// config file's directory.
 func Load(path string) (*problem.Problem, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return build(f, filepath.Dir(path))
+	return Parse(f, filepath.Dir(path))
 }
 
-// FromReader builds the problem from JSON on a reader; netlistFile paths
-// resolve against baseDir.
+// FromReader builds the problem from JSON on a reader.
+//
+// Deprecated: use Parse, which it aliases.
 func FromReader(r io.Reader, baseDir string) (*problem.Problem, error) {
-	return build(r, baseDir)
+	return Parse(r, baseDir)
 }
 
-func build(r io.Reader, baseDir string) (*problem.Problem, error) {
+// Parse decodes a JSON configuration from r and builds the problem. It
+// is the core entry point: Load (files) and the job service (request
+// bodies) both funnel through it. A netlistFile reference resolves
+// against baseDir; an inline netlist needs no filesystem access at all.
+func Parse(r io.Reader, baseDir string) (*problem.Problem, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var cfg Config

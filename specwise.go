@@ -27,6 +27,7 @@
 package specwise
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,6 +56,9 @@ type (
 	Iteration = core.Iteration
 	// MCResult is a Monte-Carlo verification summary.
 	MCResult = core.MCResult
+	// ProgressEvent is one optimizer milestone delivered through
+	// Options.Progress.
+	ProgressEvent = core.ProgressEvent
 )
 
 // Spec-kind constants.
@@ -80,23 +84,36 @@ func OTA() *Problem { return circuits.OTAProblem() }
 
 // Optimize runs the full Fig.-6 yield optimization on a problem.
 func Optimize(p *Problem, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, opts)
+}
+
+// OptimizeContext is Optimize with cancellation: the run stops promptly
+// (between optimizer stages and Monte-Carlo samples) when ctx is
+// cancelled, returning ctx.Err().
+func OptimizeContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	o, err := core.NewOptimizer(p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return o.Run()
+	return o.RunContext(ctx)
 }
 
 // VerifyYield runs the simulation-based Monte-Carlo analysis of the
 // paper's Sec. 2 at a design point: n statistical samples, each spec
 // evaluated at its own worst-case operating corner.
 func VerifyYield(p *Problem, d []float64, n int, seed uint64) (*MCResult, error) {
+	return VerifyYieldContext(context.Background(), p, d, n, seed)
+}
+
+// VerifyYieldContext is VerifyYield with cancellation; the Monte-Carlo
+// worker pool drains and returns ctx.Err() when ctx is cancelled.
+func VerifyYieldContext(ctx context.Context, p *Problem, d []float64, n int, seed uint64) (*MCResult, error) {
 	zeroS := make([]float64, p.NumStat())
 	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
 	if err != nil {
 		return nil, err
 	}
-	return core.VerifyMC(p, d, thetaRes.PerSpec, n, seed)
+	return core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed)
 }
 
 // PairMeasure is one ranked mismatch-pair entry.
