@@ -4,9 +4,25 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt check serve
+.PHONY: all build test race vet fmt bench benchsmoke check serve
 
 all: check
+
+# Benchmarks that define the performance contract of the hot path. The
+# core table benchmarks run once each (they are full optimizations, not
+# microbenchmarks) and the parsed numbers land in BENCH_core.json.
+BENCH_PATTERN ?= 'Table[13456]'
+bench: build
+	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchtime 1x -benchmem . \
+		| $(GO) run ./cmd/benchreport -o BENCH_core.json \
+			-baseline BENCH_baseline.txt \
+			-note "make bench ($(BENCH_PATTERN), -benchtime 1x, single run); baseline = pre-memoization seed (commit 3e9f61b)"
+
+# One-iteration smoke of the hottest benchmark so `make check` notices a
+# broken or pathologically slow optimization path without paying for the
+# full suite.
+benchsmoke: build
+	$(GO) test -run xxx -bench Table1 -benchtime 1x . >/dev/null
 
 build:
 	$(GO) build ./...
@@ -28,7 +44,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt test race
+check: build vet fmt test race benchsmoke
 
 # Run the yield-optimization daemon locally.
 serve:

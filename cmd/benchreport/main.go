@@ -1,0 +1,123 @@
+// Command benchreport parses `go test -bench` output on stdin and writes
+// a machine-readable JSON summary, one record per benchmark, to the file
+// named by -o (default BENCH_core.json). It understands the standard
+// testing-package metrics (ns/op, B/op, allocs/op) and the custom
+// per-benchmark metrics this repo reports (simulations, final-yield-%).
+//
+// Usage:
+//
+//	go test -run xxx -bench 'Table[16]' -benchtime 1x -benchmem . | benchreport -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result.
+type Entry struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"` // unit → value (e.g. "ns/op")
+}
+
+// Report is the full output document.
+type Report struct {
+	// Note is free-form context (baseline commit, machine, flags).
+	Note string `json:"note,omitempty"`
+	// Baseline holds reference numbers parsed from -baseline, so a
+	// committed report carries its before/after comparison.
+	Baseline   []Entry `json:"baseline,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output JSON file")
+	note := flag.String("note", "", "free-form context recorded in the report")
+	baseline := flag.String("baseline", "", "raw `go test -bench` output file parsed into the baseline section")
+	flag.Parse()
+
+	rep := Report{Note: *note}
+	if *baseline != "" {
+		entries, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		rep.Baseline = entries
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		if e, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchreport: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// parseFile extracts every benchmark line from a raw bench-output file.
+func parseFile(path string) ([]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, line := range strings.Split(string(buf), "\n") {
+		if e, ok := parseLine(line); ok {
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in %s", path)
+	}
+	return entries, nil
+}
+
+// parseLine decodes one `Benchmark...  N  <value> <unit> ...` line. The
+// testing package emits value/unit pairs after the run count; custom
+// ReportMetric units keep the same shape.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Runs: runs, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, len(e.Metrics) > 0
+}

@@ -133,9 +133,16 @@ func main() {
 	}
 	if want(6) {
 		fmt.Fprintln(w, "=== Table 7: computational effort ===")
-		fmt.Fprintf(w, "%-16s %14s %16s\n", "Circuit", "# Simulations", "# Constraint DC")
-		fmt.Fprintf(w, "%-16s %14d %16d\n", "Folded-Cascode", table1Res.Simulations, table1Res.ConstraintSims)
-		fmt.Fprintf(w, "%-16s %14d %16d\n", "Miller", table6Res.Simulations, table6Res.ConstraintSims)
+		fmt.Fprintf(w, "%-16s %14s %16s %12s %12s %12s\n",
+			"Circuit", "# Simulations", "# Constraint DC", "Cache hits", "Warm starts", "Warm conv.")
+		effortRow := func(name string, res *core.Result) {
+			fmt.Fprintf(w, "%-16s %14d %16d %12d %12d %12d\n",
+				name, res.Simulations, res.ConstraintSims,
+				res.EvalCache.Hits+res.EvalCache.ConstraintHits,
+				res.Sim.WarmStarts, res.Sim.WarmConverged)
+		}
+		effortRow("Folded-Cascode", table1Res)
+		effortRow("Miller", table6Res)
 		fmt.Fprintln(w)
 	}
 	if want(7) {

@@ -123,10 +123,15 @@ func MillerProblem() *core.Problem {
 		{Name: "VDD", Unit: "V", Nominal: 3.3, Lo: 3.0, Hi: 3.6},
 	}
 
+	// The reference bench provides the constraint names and the fixed
+	// warm-start operating point every later solve starts from.
+	tb0 := buildMiller(mlDecode([]float64{20, 20, 115, 12, 4, 6}), nil, []float64{27, 3.3})
+	h := newSimHarness(tb0)
+
 	eval := func(d, s, th []float64) ([]float64, error) {
 		g := mlDecode(d)
 		deltas := model.Physical(s, func(string) (float64, float64) { return 0, 0 })
-		tb := buildMiller(g, deltas, th)
+		tb := h.arm(buildMiller(g, deltas, th))
 		p, _ := tb.evaluate(1, 1e9)
 		return []float64{p.A0dB, p.FtMHz, p.PMdeg, p.SRVus, p.PowerMW}, nil
 	}
@@ -134,15 +139,13 @@ func MillerProblem() *core.Problem {
 	zeroS := make([]float64, model.Dim())
 	constraints := func(d []float64) ([]float64, error) {
 		g := mlDecode(d)
-		tb := buildMiller(g, model.Physical(zeroS, func(string) (float64, float64) { return 0, 0 }), []float64{27, 3.3})
-		dc, err := tb.ckt.DC(spice.DCOptions{})
+		tb := h.arm(buildMiller(g, model.Physical(zeroS, func(string) (float64, float64) { return 0, 0 }), []float64{27, 3.3}))
+		dc, err := tb.ckt.DC(tb.dcOpts)
 		if err != nil {
 			return failedConstraints(2 * len(tb.mosfets)), nil
 		}
 		return mosConstraints(tb.mosfets, dc.X), nil
 	}
-
-	tb0 := buildMiller(mlDecode([]float64{20, 20, 115, 12, 4, 6}), nil, []float64{27, 3.3})
 
 	return &core.Problem{
 		Name:            "miller",
@@ -153,5 +156,6 @@ func MillerProblem() *core.Problem {
 		ConstraintNames: mosConstraintNames(tb0.mosfets),
 		Eval:            eval,
 		Constraints:     constraints,
+		SimStats:        h.counters,
 	}
 }

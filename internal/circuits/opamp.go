@@ -3,6 +3,8 @@ package circuits
 import (
 	"math"
 
+	"specwise/internal/linalg"
+	"specwise/internal/problem"
 	"specwise/internal/spice"
 	"specwise/internal/variation"
 )
@@ -29,6 +31,49 @@ type testbench struct {
 	tailI   float64       // ideal tail current when tail == nil
 	slewCap float64       // capacitance limiting the slew rate (CL or Cc)
 	mosfets []*spice.Mosfet
+	// dcOpts configures every DC solve of this bench (warm-start guess,
+	// shared effort counters). The zero value is a plain cold solve.
+	dcOpts spice.DCOptions
+}
+
+// simHarness carries the per-problem warm-start state shared by all
+// evaluation closures: one reference operating point, solved once at the
+// initial design, and the cumulative DC effort counters. Warm-starting
+// every solve from the same fixed reference (rather than from the
+// previous solve) keeps evaluations independent of call order, so
+// results stay deterministic under the optimizer's concurrency and the
+// evaluation cache.
+type simHarness struct {
+	stats spice.DCStats
+	refOP linalg.Vector // nil when the reference solve failed
+}
+
+// newSimHarness solves tb0 cold and records its operating point as the
+// warm-start reference. tb0 must share the MNA layout of every bench the
+// problem will build (same topology, any parameter values).
+func newSimHarness(tb0 *testbench) *simHarness {
+	h := &simHarness{}
+	if dc, err := tb0.ckt.DC(spice.DCOptions{}); err == nil {
+		h.refOP = dc.X
+	}
+	return h
+}
+
+// arm points tb's DC solves at the harness reference and counters.
+func (h *simHarness) arm(tb *testbench) *testbench {
+	tb.dcOpts = spice.DCOptions{InitialX: h.refOP, Stats: &h.stats}
+	return tb
+}
+
+// counters snapshots the harness effort counters in problem-layer terms,
+// implementing problem.Problem.SimStats.
+func (h *simHarness) counters() problem.SimCounters {
+	return problem.SimCounters{
+		WarmStarts:    h.stats.WarmStarts.Load(),
+		WarmConverged: h.stats.WarmConverged.Load(),
+		Fallbacks:     h.stats.Fallbacks.Load(),
+		NewtonIters:   h.stats.NewtonIters.Load(),
+	}
 }
 
 // adjustTemp applies first-order temperature dependence to a model card.
@@ -79,7 +124,7 @@ func failedPerf() Performances {
 // frequency, phase margin), a single common-mode AC point (CMRR), and
 // operating-point bookkeeping (slew rate, power).
 func (tb *testbench) evaluate(fStart, fStop float64) (Performances, bool) {
-	dc, err := tb.ckt.DC(spice.DCOptions{})
+	dc, err := tb.ckt.DC(tb.dcOpts)
 	if err != nil {
 		return failedPerf(), false
 	}

@@ -125,10 +125,15 @@ func OTAProblem() *core.Problem {
 		{Name: "VDD", Unit: "V", Nominal: 3.3, Lo: 3.0, Hi: 3.6},
 	}
 
+	// The reference bench provides the constraint names and the fixed
+	// warm-start operating point every later solve starts from.
+	tb0 := buildOTA(otaDecode([]float64{20, 30, 8}), nil, []float64{27, 3.3})
+	h := newSimHarness(tb0)
+
 	eval := func(d, s, th []float64) ([]float64, error) {
 		g := otaDecode(d)
 		deltas := model.Physical(s, g.geometry)
-		tb := buildOTA(g, deltas, th)
+		tb := h.arm(buildOTA(g, deltas, th))
 		p, _ := tb.evaluate(100, 1e10)
 		return []float64{p.A0dB, p.FtMHz, p.CMRRdB, p.PowerMW}, nil
 	}
@@ -136,15 +141,13 @@ func OTAProblem() *core.Problem {
 	zeroS := make([]float64, model.Dim())
 	constraints := func(d []float64) ([]float64, error) {
 		g := otaDecode(d)
-		tb := buildOTA(g, model.Physical(zeroS, g.geometry), []float64{27, 3.3})
-		dc, err := tb.ckt.DC(spice.DCOptions{})
+		tb := h.arm(buildOTA(g, model.Physical(zeroS, g.geometry), []float64{27, 3.3}))
+		dc, err := tb.ckt.DC(tb.dcOpts)
 		if err != nil {
 			return failedConstraints(2 * len(tb.mosfets)), nil
 		}
 		return mosConstraints(tb.mosfets, dc.X), nil
 	}
-
-	tb0 := buildOTA(otaDecode([]float64{20, 30, 8}), nil, []float64{27, 3.3})
 
 	return &core.Problem{
 		Name:            "ota5",
@@ -155,5 +158,6 @@ func OTAProblem() *core.Problem {
 		ConstraintNames: mosConstraintNames(tb0.mosfets),
 		Eval:            eval,
 		Constraints:     constraints,
+		SimStats:        h.counters,
 	}
 }

@@ -292,17 +292,29 @@ func tieBreakAlpha(cd linmodel.CoordinateData, lo, hi float64, n int) float64 {
 	if len(cd.G) == 0 || lo >= hi {
 		return 0
 	}
+	// obj computes mean_j min_m (C[m][j] + G[m]·α)·Scale[m]. The model
+	// loop is outermost so each C[m] row streams sequentially; the
+	// per-sample minimum accumulates into minM. The per-element
+	// arithmetic and the final left-to-right summation match the naive
+	// sample-major double loop exactly, so the maximizer is unchanged.
+	minM := make([]float64, n)
 	obj := func(alpha float64) float64 {
-		total := 0.0
-		for j := 0; j < n; j++ {
-			minM := math.Inf(1)
-			for m := range cd.G {
-				v := (cd.C[m][j] + cd.G[m]*alpha) * cd.Scale[m]
-				if v < minM {
-					minM = v
+		for j := range minM {
+			minM[j] = math.Inf(1)
+		}
+		for m := range cd.G {
+			row := cd.C[m]
+			shift := cd.G[m] * alpha
+			scale := cd.Scale[m]
+			for j := 0; j < n; j++ {
+				if v := (row[j] + shift) * scale; v < minM[j] {
+					minM[j] = v
 				}
 			}
-			total += minM
+		}
+		total := 0.0
+		for j := 0; j < n; j++ {
+			total += minM[j]
 		}
 		return total / float64(n)
 	}

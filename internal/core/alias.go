@@ -27,6 +27,9 @@ type (
 	ConstraintFunc = problem.ConstraintFunc
 	// Counter tallies simulator invocations for effort reporting.
 	Counter = problem.Counter
+	// SimCounters reports simulator-side effort (DC warm starts,
+	// homotopy fallbacks, Newton iterations).
+	SimCounters = problem.SimCounters
 )
 
 // Re-exported spec-kind constants.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"specwise/internal/coord"
+	"specwise/internal/evalcache"
 	"specwise/internal/feasopt"
 	"specwise/internal/linmodel"
 	"specwise/internal/rng"
@@ -49,6 +50,14 @@ type Options struct {
 	// paper's linear+mirror pair to a radial-quadratic model at the same
 	// simulation cost (extension; see the QuadStudy experiment).
 	QuadraticSpecs bool
+	// NoEvalCache disables the evaluation memoization cache, forcing
+	// every (d, s, θ) point back to the simulator. Results are
+	// bit-identical either way (the cache keys on exact bit patterns);
+	// the switch exists for ablation and the determinism tests.
+	NoEvalCache bool
+	// EvalCacheSize caps the number of memoized evaluation points.
+	// 0 selects evalcache.DefaultMaxEntries.
+	EvalCacheSize int
 	// WC tunes the worst-case distance searches.
 	WC wcd.Options
 	// Coord tunes the coordinate search.
@@ -131,10 +140,19 @@ type Result struct {
 	// after one linearize → search → line-search cycle.
 	Iterations  []Iteration
 	FinalDesign []float64
-	// Simulations totals the full performance evaluations spent.
+	// Simulations totals the full performance evaluations that actually
+	// reached the simulator (cache hits are excluded).
 	Simulations int64
-	// ConstraintSims totals the DC-only constraint evaluations.
+	// ConstraintSims totals the DC-only constraint evaluations that
+	// reached the simulator.
 	ConstraintSims int64
+	// EvalCache reports the memoization-cache counters of the run
+	// (zero when Options.NoEvalCache disabled the cache).
+	EvalCache evalcache.Stats
+	// Sim reports the simulator-side effort counters (DC warm starts,
+	// homotopy fallbacks, Newton iterations) when the problem exposes
+	// them through Problem.SimStats; zero otherwise.
+	Sim SimCounters
 }
 
 // Optimizer runs the paper's Fig.-6 algorithm.
@@ -142,10 +160,15 @@ type Optimizer struct {
 	problem *Problem
 	opts    Options
 	counter Counter
-	p       *Problem // instrumented copy
+	cache   *evalcache.Cache // nil when Options.NoEvalCache is set
+	sim0    SimCounters      // simulator counters at construction time
+	p       *Problem         // instrumented (and possibly cached) copy
 }
 
 // NewOptimizer validates the problem and prepares an instrumented copy.
+// Unless Options.NoEvalCache is set, evaluations are memoized: the
+// counter sits between the cache and the simulator, so Result.Simulations
+// counts only evaluations that actually ran.
 func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
 	if err := problem.Validate(); err != nil {
 		return nil, err
@@ -153,8 +176,15 @@ func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
 	opts.defaults()
 	o := &Optimizer{problem: problem, opts: opts}
 	o.p = o.counter.Instrument(problem)
+	if !opts.NoEvalCache {
+		o.cache = evalcache.New(opts.EvalCacheSize)
+		o.p = o.cache.Wrap(o.p)
+	}
 	if opts.NoConstraints {
 		o.p.Constraints = nil
+	}
+	if problem.SimStats != nil {
+		o.sim0 = problem.SimStats()
 	}
 	return o, nil
 }
@@ -305,6 +335,20 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 	res.FinalDesign = d
 	res.Simulations = o.counter.Evals()
 	res.ConstraintSims = o.counter.ConstraintEvals()
+	if o.cache != nil {
+		res.EvalCache = o.cache.Stats()
+	}
+	if o.problem.SimStats != nil {
+		// Report only this run's share of the (problem-cumulative)
+		// simulator counters.
+		now := o.problem.SimStats()
+		res.Sim = SimCounters{
+			WarmStarts:    now.WarmStarts - o.sim0.WarmStarts,
+			WarmConverged: now.WarmConverged - o.sim0.WarmConverged,
+			Fallbacks:     now.Fallbacks - o.sim0.Fallbacks,
+			NewtonIters:   now.NewtonIters - o.sim0.NewtonIters,
+		}
+	}
 	return res, nil
 }
 

@@ -147,6 +147,44 @@ func TestIdenticalResubmissionHitsCache(t *testing.T) {
 	waitState(t, third, 10*time.Second)
 }
 
+func TestResultCacheLRUEviction(t *testing.T) {
+	m := testManager(t, Config{Workers: 1, CacheSize: 2}, 0)
+	submit := func(seed uint64) *Job {
+		t.Helper()
+		opts := quickOpts
+		opts.Seed = seed
+		job, err := m.Submit(Request{Circuit: "analytic", Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitState(t, job, 10*time.Second); st != StateDone {
+			t.Fatalf("seed %d: state %v, err %q", seed, st, job.Err())
+		}
+		return job
+	}
+
+	submit(1)
+	submit(2)
+	if got := m.Metrics().CacheEvictions(); got != 0 {
+		t.Fatalf("evictions = %d before the cap was reached", got)
+	}
+	// Touch seed 1 so it is the most recently used, then overflow: the
+	// third distinct result must push out seed 2, not seed 1.
+	if j := submit(1); !j.Status().Cached {
+		t.Fatal("resubmission of seed 1 missed the cache")
+	}
+	submit(3)
+	if got := m.Metrics().CacheEvictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if j := submit(1); !j.Status().Cached {
+		t.Error("seed 1 was evicted despite being recently used")
+	}
+	if j := submit(2); j.Status().Cached {
+		t.Error("seed 2 survived past the cache cap")
+	}
+}
+
 func TestCancelRunningJob(t *testing.T) {
 	// Slow evaluations and a long verification give the cancel a wide
 	// in-flight window; the job must still wind down promptly.

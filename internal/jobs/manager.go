@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"errors"
 	"fmt"
@@ -34,6 +35,10 @@ type Config struct {
 	Workers int
 	// QueueSize bounds the number of jobs waiting to run (default 64).
 	QueueSize int
+	// CacheSize caps the number of completed results kept for
+	// hash-identical resubmissions; the least recently used entry is
+	// evicted past the cap (default 128, negative disables caching).
+	CacheSize int
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
@@ -48,6 +53,9 @@ func (c *Config) defaults() {
 	}
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
 	}
 	if c.Resolve == nil {
 		c.Resolve = ResolveProblem
@@ -86,8 +94,15 @@ type Manager struct {
 
 	mu    sync.Mutex
 	jobs  map[string]*Job
-	cache map[string]*Result
+	cache map[string]*list.Element // hash → element in lru
+	lru   *list.List               // of *cacheEntry, most recent first
 	seq   int
+}
+
+// cacheEntry is one completed result in the LRU result cache.
+type cacheEntry struct {
+	hash string
+	res  *Result
 }
 
 // New starts a manager with cfg.Workers workers. Call Close to stop.
@@ -100,7 +115,8 @@ func New(cfg Config) *Manager {
 		stop:  stop,
 		queue: make(chan *Job, cfg.QueueSize),
 		jobs:  make(map[string]*Job),
-		cache: make(map[string]*Result),
+		cache: make(map[string]*list.Element),
+		lru:   list.New(),
 	}
 	m.metrics.start = time.Now()
 	m.metrics.workers = cfg.Workers
@@ -145,10 +161,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		problem:  p,
 		enqueued: time.Now(),
 	}
-	if cached, ok := m.cache[hash]; ok {
+	if el, ok := m.cache[hash]; ok {
+		m.lru.MoveToFront(el)
 		job.state = StateDone
 		job.cached = true
-		job.result = cached
+		job.result = el.Value.(*cacheEntry).res
 		job.started = job.enqueued
 		job.finished = job.enqueued
 		m.jobs[job.id] = job
@@ -292,14 +309,35 @@ func (m *Manager) run(job *Job) {
 	switch state {
 	case StateDone:
 		m.metrics.done.Add(1)
-		m.mu.Lock()
-		m.cache[hash] = result
-		m.mu.Unlock()
+		m.cacheStore(hash, result)
 	case StateCanceled:
 		m.metrics.canceled.Add(1)
 	default:
 		m.metrics.failed.Add(1)
 	}
+}
+
+// cacheStore inserts a completed result into the LRU result cache,
+// evicting the least recently used entry past the configured cap.
+func (m *Manager) cacheStore(hash string, result *Result) {
+	if m.cfg.CacheSize < 0 {
+		return
+	}
+	m.mu.Lock()
+	if el, ok := m.cache[hash]; ok {
+		el.Value.(*cacheEntry).res = result
+		m.lru.MoveToFront(el)
+	} else {
+		m.cache[hash] = m.lru.PushFront(&cacheEntry{hash: hash, res: result})
+		for m.lru.Len() > m.cfg.CacheSize {
+			back := m.lru.Back()
+			m.lru.Remove(back)
+			delete(m.cache, back.Value.(*cacheEntry).hash)
+			m.metrics.cacheEvictions.Add(1)
+		}
+	}
+	m.metrics.cacheEntries.Store(int64(m.lru.Len()))
+	m.mu.Unlock()
 }
 
 // execute dispatches on the job kind.
@@ -341,6 +379,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.metrics.noteRun(res)
 		return &Result{Kind: KindOptimize, Optimization: report.JSONResult(res)}, nil
 	}
 }

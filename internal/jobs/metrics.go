@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync/atomic"
 	"time"
+
+	"specwise/internal/core"
 )
 
 // Metrics holds the service counters exported on GET /metrics. All
@@ -15,17 +17,41 @@ type Metrics struct {
 	start   time.Time
 	workers int
 
-	submitted atomic.Int64 // every accepted Submit, cache hits included
-	queued    atomic.Int64 // gauge: waiting in the queue
-	running   atomic.Int64 // gauge: executing on a worker
-	done      atomic.Int64
-	failed    atomic.Int64
-	canceled  atomic.Int64
-	cacheHits atomic.Int64
-	busyNanos atomic.Int64 // total worker-occupied time
-	wallNanos atomic.Int64 // total per-job wall time (== busyNanos today,
+	submitted      atomic.Int64 // every accepted Submit, cache hits included
+	queued         atomic.Int64 // gauge: waiting in the queue
+	running        atomic.Int64 // gauge: executing on a worker
+	done           atomic.Int64
+	failed         atomic.Int64
+	canceled       atomic.Int64
+	cacheHits      atomic.Int64
+	cacheEvictions atomic.Int64 // result-cache LRU evictions
+	cacheEntries   atomic.Int64 // gauge: results currently cached
+	busyNanos      atomic.Int64 // total worker-occupied time
+	wallNanos      atomic.Int64 // total per-job wall time (== busyNanos today,
 	// kept separate so sharded/remote workers can diverge)
+
+	// Per-evaluation reuse counters aggregated over completed
+	// optimization runs: the in-run memoization cache and the DC
+	// warm-start machinery (see internal/evalcache, internal/spice).
+	evalCacheHits   atomic.Int64
+	evalCacheMisses atomic.Int64
+	warmStarts      atomic.Int64
+	warmConverged   atomic.Int64
+	dcFallbacks     atomic.Int64
 }
+
+// noteRun folds one finished optimization's evaluation-reuse counters
+// into the service totals.
+func (m *Metrics) noteRun(res *core.Result) {
+	m.evalCacheHits.Add(res.EvalCache.Hits + res.EvalCache.ConstraintHits)
+	m.evalCacheMisses.Add(res.EvalCache.Misses + res.EvalCache.ConstraintMisses)
+	m.warmStarts.Add(res.Sim.WarmStarts)
+	m.warmConverged.Add(res.Sim.WarmConverged)
+	m.dcFallbacks.Add(res.Sim.Fallbacks)
+}
+
+// CacheEvictions returns the number of results dropped by the LRU cap.
+func (m *Metrics) CacheEvictions() int64 { return m.cacheEvictions.Load() }
 
 // CacheHits returns the number of submissions answered from the cache.
 func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
@@ -63,6 +89,13 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_jobs_failed_total %d\n", m.failed.Load())
 	fmt.Fprintf(w, "specwised_jobs_canceled_total %d\n", m.canceled.Load())
 	fmt.Fprintf(w, "specwised_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "specwised_cache_evictions_total %d\n", m.cacheEvictions.Load())
+	fmt.Fprintf(w, "specwised_cache_entries %d\n", m.cacheEntries.Load())
+	fmt.Fprintf(w, "specwised_evalcache_hits_total %d\n", m.evalCacheHits.Load())
+	fmt.Fprintf(w, "specwised_evalcache_misses_total %d\n", m.evalCacheMisses.Load())
+	fmt.Fprintf(w, "specwised_dc_warm_starts_total %d\n", m.warmStarts.Load())
+	fmt.Fprintf(w, "specwised_dc_warm_converged_total %d\n", m.warmConverged.Load())
+	fmt.Fprintf(w, "specwised_dc_fallbacks_total %d\n", m.dcFallbacks.Load())
 	fmt.Fprintf(w, "specwised_workers %d\n", m.workers)
 	fmt.Fprintf(w, "specwised_worker_busy_seconds_total %.6f\n",
 		time.Duration(m.busyNanos.Load()).Seconds())

@@ -2,7 +2,7 @@ package linalg
 
 import (
 	"errors"
-	"math/cmplx"
+	"math"
 )
 
 // CMatrix is a dense, row-major matrix of complex128 values. The AC
@@ -43,8 +43,40 @@ func (m *CMatrix) Zero() {
 	}
 }
 
+// CSolver is reusable workspace for solving complex dense systems of a
+// fixed order. The AC sweep solves one (G + jωC)·x = b system per
+// frequency point; reusing the elimination scratch and solution storage
+// across points removes the dominant allocation on that path. The
+// elimination is the same code CSolve runs, so a reused workspace yields
+// bit-identical solutions.
+type CSolver struct {
+	lu *CMatrix
+	x  []complex128
+}
+
+// NewCSolver returns workspace for order-n systems.
+func NewCSolver(n int) *CSolver {
+	return &CSolver{lu: NewCMatrix(n, n), x: make([]complex128, n)}
+}
+
+// SolveInto solves a x = b and returns x aliasing the workspace: the
+// slice is valid until the next SolveInto call. a and b are not modified.
+func (cs *CSolver) SolveInto(a *CMatrix, b []complex128) ([]complex128, error) {
+	n := cs.lu.Rows
+	if a.Rows != n || a.Cols != n {
+		return nil, errors.New("linalg: CSolver dimension mismatch")
+	}
+	if len(b) != n {
+		return nil, errors.New("linalg: CSolver dimension mismatch")
+	}
+	copy(cs.lu.Data, a.Data)
+	copy(cs.x, b)
+	return csolve(cs.lu, cs.x)
+}
+
 // CSolve solves a x = b in place of a copy of a using partially pivoted
-// Gaussian elimination and returns x. a and b are not modified.
+// Gaussian elimination and returns x. a and b are not modified. For
+// repeated solves of same-order systems, use a CSolver.
 func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: CSolve requires a square matrix")
@@ -56,10 +88,22 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 	lu := a.Clone()
 	x := make([]complex128, n)
 	copy(x, b)
+	return csolve(lu, x)
+}
+
+// csolve eliminates lu in place with partial pivoting and overwrites x
+// (initially the right-hand side) with the solution, which it returns.
+func csolve(lu *CMatrix, x []complex128) ([]complex128, error) {
+	n := lu.Rows
+	data := lu.Data
 	for k := 0; k < n; k++ {
-		p, maxv := k, cmplx.Abs(lu.At(k, k))
+		// Pivot on the squared magnitude: strictly monotone in |·|, so
+		// the same row wins as with cmplx.Abs, without a sqrt per
+		// candidate. (Entries below ~1e-154 square to zero; columns that
+		// small are singular to working precision anyway.)
+		p, maxv := k, sqmag(data[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if v := cmplx.Abs(lu.At(i, k)); v > maxv {
+			if v := sqmag(data[i*n+k]); v > maxv {
 				p, maxv = i, v
 			}
 		}
@@ -67,19 +111,27 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 			return nil, ErrSingular
 		}
 		if p != k {
-			rk, rp := lu.Row(k), lu.Row(p)
+			rk, rp := data[k*n:(k+1)*n], data[p*n:(p+1)*n]
 			for j := range rk {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
 			x[k], x[p] = x[p], x[k]
 		}
-		pivot := lu.At(k, k)
+		pivot := data[k*n+k]
+		pd := newPivotDiv(pivot)
 		for i := k + 1; i < n; i++ {
-			m := lu.At(i, k) / pivot
+			// MNA columns are sparse: checking the entry before dividing
+			// skips the (expensive) complex division for the common
+			// structurally-zero case, with the same outcome.
+			e := data[i*n+k]
+			if e == 0 {
+				continue
+			}
+			m := pd.div(e, pivot)
 			if m == 0 {
 				continue
 			}
-			ri, rk := lu.Row(i), lu.Row(k)
+			ri, rk := data[i*n:(i+1)*n], data[k*n:(k+1)*n]
 			for j := k + 1; j < n; j++ {
 				ri[j] -= m * rk[j]
 			}
@@ -87,7 +139,7 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 		}
 	}
 	for i := n - 1; i >= 0; i-- {
-		row := lu.Row(i)
+		row := data[i*n : (i+1)*n]
 		s := x[i]
 		for j := i + 1; j < n; j++ {
 			s -= row[j] * x[j]
@@ -95,4 +147,47 @@ func CSolve(a *CMatrix, b []complex128) ([]complex128, error) {
 		x[i] = s / row[i]
 	}
 	return x, nil
+}
+
+// sqmag returns |c|² without the square root of cmplx.Abs.
+func sqmag(c complex128) float64 {
+	re, im := real(c), imag(c)
+	return re*re + im*im
+}
+
+// pivotDiv divides many numerators by one fixed complex divisor. It
+// hoists the ratio/denominator of Smith's robust-division algorithm
+// (Algorithm 116, CACM 1962) — the same algorithm the Go runtime uses
+// for complex128 division — out of the per-element call, producing
+// bit-identical quotients for finite inputs. The rare all-NaN outcome
+// falls back to the native division so special-value semantics match
+// the runtime exactly.
+type pivotDiv struct {
+	ratio, denom float64
+	swapped      bool // |imag(pivot)| > |real(pivot)|
+}
+
+func newPivotDiv(pivot complex128) pivotDiv {
+	re, im := real(pivot), imag(pivot)
+	if math.Abs(re) >= math.Abs(im) {
+		r := im / re
+		return pivotDiv{ratio: r, denom: re + r*im}
+	}
+	r := re / im
+	return pivotDiv{ratio: r, denom: im + r*re, swapped: true}
+}
+
+func (d pivotDiv) div(n, pivot complex128) complex128 {
+	var e, f float64
+	if !d.swapped {
+		e = (real(n) + imag(n)*d.ratio) / d.denom
+		f = (imag(n) - real(n)*d.ratio) / d.denom
+	} else {
+		e = (real(n)*d.ratio + imag(n)) / d.denom
+		f = (imag(n)*d.ratio - real(n)) / d.denom
+	}
+	if math.IsNaN(e) && math.IsNaN(f) {
+		return n / pivot
+	}
+	return complex(e, f)
 }

@@ -10,12 +10,20 @@ import (
 var ErrSingular = errors.New("linalg: matrix is singular to working precision")
 
 // LU holds an in-place LU factorization with partial pivoting, PA = LU.
-// It is reusable: Solve may be called repeatedly with different right-hand
-// sides, which is how the circuit simulator amortizes Newton iterations.
+// It is reusable in two ways: Solve may be called repeatedly with
+// different right-hand sides, and Factor may be called repeatedly with
+// different matrices of the same order — which is how the circuit
+// simulator amortizes Newton iterations without reallocating.
 type LU struct {
 	lu   *Matrix
 	piv  []int
 	sign int // +1 or -1, parity of the permutation
+}
+
+// NewLUWorkspace returns an LU with storage for order-n systems but no
+// factorization yet; call Factor before Solve.
+func NewLUWorkspace(n int) *LU {
+	return &LU{lu: NewMatrix(n, n), piv: make([]int, n)}
 }
 
 // NewLU factors a copy of a with partial pivoting. The input is not
@@ -24,8 +32,24 @@ func NewLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: LU requires a square matrix")
 	}
-	n := a.Rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	f := NewLUWorkspace(a.Rows)
+	if err := f.Factor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Factor copies a into the workspace and factors it in place, replacing
+// any previous factorization. a must match the workspace order and is
+// not modified. The elimination is identical to NewLU's, so refactoring
+// through a reused workspace yields bit-identical factors.
+func (f *LU) Factor(a *Matrix) error {
+	n := f.lu.Rows
+	if a.Rows != n || a.Cols != n {
+		return errors.New("linalg: LU.Factor dimension mismatch")
+	}
+	copy(f.lu.Data, a.Data)
+	f.sign = 1
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -39,7 +63,7 @@ func NewLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if maxv == 0 || math.IsNaN(maxv) {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)
@@ -62,16 +86,23 @@ func NewLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve solves A x = b and returns x. b is not modified.
 func (f *LU) Solve(b Vector) Vector {
+	x := NewVector(f.lu.Rows)
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A x = b into x without allocating. x and b must not
+// alias.
+func (f *LU) SolveInto(x, b Vector) {
 	n := f.lu.Rows
-	if len(b) != n {
-		panic("linalg: LU.Solve dimension mismatch")
+	if len(b) != n || len(x) != n {
+		panic("linalg: LU.SolveInto dimension mismatch")
 	}
-	x := NewVector(n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -93,7 +124,6 @@ func (f *LU) Solve(b Vector) Vector {
 		}
 		x[i] = s / row[i]
 	}
-	return x
 }
 
 // Det returns the determinant of the factored matrix.

@@ -76,6 +76,31 @@ type EvalFunc func(d, s, theta []float64) ([]float64, error)
 // corresponds to one (cheaper, DC-only) circuit simulation.
 type ConstraintFunc func(d []float64) ([]float64, error)
 
+// SimCounters reports how the simulator behind a problem spent its
+// effort, in simulator-neutral terms. All fields are cumulative since
+// problem construction.
+type SimCounters struct {
+	// WarmStarts counts DC solves attempted from a reference operating
+	// point instead of the cold homotopy ladder.
+	WarmStarts int64 `json:"warm_starts"`
+	// WarmConverged counts warm-started solves that converged directly,
+	// without falling back to gmin/source stepping.
+	WarmConverged int64 `json:"warm_converged"`
+	// Fallbacks counts DC solves that needed the gmin/source-stepping
+	// homotopy ladder after plain Newton failed.
+	Fallbacks int64 `json:"fallbacks"`
+	// NewtonIters counts DC Newton iterations across all solves.
+	NewtonIters int64 `json:"newton_iters"`
+}
+
+// Add accumulates o into c.
+func (c *SimCounters) Add(o SimCounters) {
+	c.WarmStarts += o.WarmStarts
+	c.WarmConverged += o.WarmConverged
+	c.Fallbacks += o.Fallbacks
+	c.NewtonIters += o.NewtonIters
+}
+
 // Problem is the black-box circuit abstraction the optimizer works on.
 type Problem struct {
 	Name            string
@@ -86,6 +111,10 @@ type Problem struct {
 	ConstraintNames []string
 	Eval            EvalFunc
 	Constraints     ConstraintFunc
+	// SimStats, when non-nil, snapshots the simulator-side effort
+	// counters (DC warm starts, fallbacks, Newton iterations) so the
+	// optimizer can report them alongside the simulation counts.
+	SimStats func() SimCounters
 }
 
 // NumSpecs returns the number of performance specifications.

@@ -52,6 +52,23 @@ type IterationRecord struct {
 	Specs     []SpecState `json:"specs"`
 }
 
+// Perf reports the evaluation-reuse counters of a run: how often the
+// memoization cache and singleflight layer spared a simulation, and how
+// the DC warm-start machinery behaved underneath the evaluations that
+// did run.
+type Perf struct {
+	EvalCacheHits         int64 `json:"evalCacheHits"`
+	EvalCacheMisses       int64 `json:"evalCacheMisses"`
+	EvalCacheDeduped      int64 `json:"evalCacheDeduped"`
+	EvalCacheOverflow     int64 `json:"evalCacheOverflow,omitempty"`
+	ConstraintCacheHits   int64 `json:"constraintCacheHits"`
+	ConstraintCacheMisses int64 `json:"constraintCacheMisses"`
+	WarmStarts            int64 `json:"warmStarts"`
+	WarmConverged         int64 `json:"warmConverged"`
+	DCFallbacks           int64 `json:"dcFallbacks"`
+	NewtonIters           int64 `json:"newtonIters"`
+}
+
 // Result is the full JSON-serializable record of an optimization run.
 type Result struct {
 	Problem        string            `json:"problem"`
@@ -60,6 +77,7 @@ type Result struct {
 	FinalDesign    []DesignValue     `json:"finalDesign"`
 	Simulations    int64             `json:"simulations"`
 	ConstraintSims int64             `json:"constraintSims"`
+	Perf           Perf              `json:"perf"`
 }
 
 // num returns a pointer to v, or nil when v is not a finite number —
@@ -78,6 +96,18 @@ func JSONResult(res *core.Result) *Result {
 		Problem:        p.Name,
 		Simulations:    res.Simulations,
 		ConstraintSims: res.ConstraintSims,
+		Perf: Perf{
+			EvalCacheHits:         res.EvalCache.Hits,
+			EvalCacheMisses:       res.EvalCache.Misses,
+			EvalCacheDeduped:      res.EvalCache.Deduped,
+			EvalCacheOverflow:     res.EvalCache.Overflow,
+			ConstraintCacheHits:   res.EvalCache.ConstraintHits,
+			ConstraintCacheMisses: res.EvalCache.ConstraintMisses,
+			WarmStarts:            res.Sim.WarmStarts,
+			WarmConverged:         res.Sim.WarmConverged,
+			DCFallbacks:           res.Sim.Fallbacks,
+			NewtonIters:           res.Sim.NewtonIters,
+		},
 	}
 	for _, s := range p.Specs {
 		op := ">="

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-
-	"specwise/internal/linalg"
 )
 
 // ACResult is the small-signal solution at one angular frequency.
@@ -18,12 +16,19 @@ type ACResult struct {
 func (r *ACResult) Voltage(node int) complex128 { return cvolt(r.X, node) }
 
 // AC solves the small-signal system (G + jωC)·x = b linearized at the
-// given DC operating point.
+// given DC operating point. The stamp matrix and elimination workspace
+// live in the circuit's scratch space and are reused across frequency
+// points; only the solution vector is freshly allocated, so returned
+// results stay valid across calls.
 func (c *Circuit) AC(dc *DCResult, omega float64) (*ACResult, error) {
 	c.finalize()
 	n := c.NumVars()
-	a := linalg.NewCMatrix(n, n)
-	b := make([]complex128, n)
+	w := c.acScratch(n)
+	a, b := w.acA, w.acB
+	a.Zero()
+	for i := range b {
+		b[i] = 0
+	}
 	for _, d := range c.devices {
 		d.StampAC(a, b, omega, dc.X)
 	}
@@ -32,11 +37,11 @@ func (c *Circuit) AC(dc *DCResult, omega float64) (*ACResult, error) {
 	for i := 0; i < c.NumNodes(); i++ {
 		a.Addto(i, i, complex(1e-12, 0))
 	}
-	x, err := linalg.CSolve(a, b)
+	x, err := w.acLU.SolveInto(a, b)
 	if err != nil {
 		return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
 	}
-	return &ACResult{Omega: omega, X: x}, nil
+	return &ACResult{Omega: omega, X: append([]complex128(nil), x...)}, nil
 }
 
 // Bode is a sampled frequency response H(f) of one observed node.

@@ -21,13 +21,59 @@ const groundIndex = -1
 
 // Circuit is a flat netlist plus the MNA variable layout. Circuits are
 // cheap to construct; the evaluation layer builds a fresh circuit for every
-// (design, statistical, operating) parameter set, which keeps the simulator
-// itself stateless.
+// (design, statistical, operating) parameter set. A circuit carries solver
+// scratch buffers reused across Newton iterations and AC sweep points, so
+// a single Circuit must not run analyses from multiple goroutines
+// concurrently (constructing one circuit per goroutine, as the evaluation
+// layer does, is the supported pattern).
 type Circuit struct {
 	nodeIndex  map[string]int
 	nodeNames  []string
 	devices    []Device
 	branchDevs []branchDevice
+
+	scratch solverScratch
+}
+
+// solverScratch holds reusable per-circuit solver storage. Lazily sized
+// to the MNA system order; re-allocated if devices are added between
+// analyses.
+type solverScratch struct {
+	n   int
+	jac *linalg.Matrix
+	res linalg.Vector
+	dx  linalg.Vector
+	lu  *linalg.LU
+
+	acN  int
+	acA  *linalg.CMatrix
+	acB  []complex128
+	acLU *linalg.CSolver
+}
+
+// dcScratch returns the DC Newton workspace for an order-n system.
+func (c *Circuit) dcScratch(n int) *solverScratch {
+	s := &c.scratch
+	if s.n != n || s.jac == nil {
+		s.n = n
+		s.jac = linalg.NewMatrix(n, n)
+		s.res = linalg.NewVector(n)
+		s.dx = linalg.NewVector(n)
+		s.lu = linalg.NewLUWorkspace(n)
+	}
+	return s
+}
+
+// acScratch returns the AC workspace for an order-n system.
+func (c *Circuit) acScratch(n int) *solverScratch {
+	s := &c.scratch
+	if s.acN != n || s.acA == nil {
+		s.acN = n
+		s.acA = linalg.NewCMatrix(n, n)
+		s.acB = make([]complex128, n)
+		s.acLU = linalg.NewCSolver(n)
+	}
+	return s
 }
 
 // New returns an empty circuit containing only the ground node.

@@ -4,9 +4,25 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"specwise/internal/linalg"
 )
+
+// DCStats accumulates solver-effort counters across DC solves. One
+// instance may be shared by many circuits; it is safe for concurrent use.
+type DCStats struct {
+	// WarmStarts counts solves given an InitialX guess.
+	WarmStarts atomic.Int64
+	// WarmConverged counts warm-started solves whose plain Newton attempt
+	// converged directly, skipping the homotopy ladder.
+	WarmConverged atomic.Int64
+	// Fallbacks counts solves that entered gmin/source stepping after the
+	// plain Newton attempt failed.
+	Fallbacks atomic.Int64
+	// NewtonIters counts Newton iterations summed over all attempts.
+	NewtonIters atomic.Int64
+}
 
 // DCOptions tunes the Newton–Raphson operating-point solver.
 type DCOptions struct {
@@ -16,6 +32,7 @@ type DCOptions struct {
 	Gmin     float64       // baseline node-to-ground leak [S] (default 1e-12)
 	MaxStep  float64       // per-iteration voltage damping limit [V] (default 0.5)
 	InitialX linalg.Vector // optional warm start (length NumVars)
+	Stats    *DCStats      // optional effort counters, shared across solves
 }
 
 func (o *DCOptions) defaults() {
@@ -54,27 +71,46 @@ func (r *DCResult) Voltage(node int) float64 { return volt(r.X, node) }
 // BranchCurrent returns the current of an MNA branch variable.
 func (r *DCResult) BranchCurrent(branch int) float64 { return r.X[branch] }
 
-// DC computes the operating point. The plain Newton attempt is followed by
-// a gmin-stepping homotopy and then source stepping, mirroring the fallback
-// ladder of production simulators.
+// DC computes the operating point. When DCOptions.InitialX supplies a
+// previous operating point, plain Newton starts there; otherwise it starts
+// from zero. On non-convergence the solve falls back to a gmin-stepping
+// homotopy and then source stepping (both restarting from zero, so the
+// fallback is independent of the guess), mirroring the fallback ladder of
+// production simulators.
 func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 	opts.defaults()
 	c.finalize()
 	n := c.NumVars()
 	x := linalg.NewVector(n)
-	if opts.InitialX != nil {
+	warm := opts.InitialX != nil
+	if warm {
 		if len(opts.InitialX) != n {
 			return nil, fmt.Errorf("spice: warm start length %d, want %d", len(opts.InitialX), n)
 		}
 		copy(x, opts.InitialX)
+		if opts.Stats != nil {
+			opts.Stats.WarmStarts.Add(1)
+		}
 	}
 
 	total := 0
+	defer func() {
+		if opts.Stats != nil {
+			opts.Stats.NewtonIters.Add(int64(total))
+		}
+	}()
 	// Attempt 1: plain Newton at the target gmin.
 	if it, ok := c.newton(x, opts, opts.Gmin, 1); ok {
+		total += it
+		if warm && opts.Stats != nil {
+			opts.Stats.WarmConverged.Add(1)
+		}
 		return &DCResult{X: x, Iterations: it, circuit: c}, nil
 	} else {
 		total += it
+	}
+	if opts.Stats != nil {
+		opts.Stats.Fallbacks.Add(1)
 	}
 
 	// Attempt 2: gmin stepping from a strongly damped system.
@@ -91,8 +127,10 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 		gmin /= 10
 	}
 	if ok {
-		if it, conv := c.newton(x, opts, opts.Gmin, 1); conv {
-			return &DCResult{X: x, Iterations: total + it, circuit: c}, nil
+		it, conv := c.newton(x, opts, opts.Gmin, 1)
+		total += it
+		if conv {
+			return &DCResult{X: x, Iterations: total, circuit: c}, nil
 		}
 	}
 
@@ -118,19 +156,23 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 			return nil, fmt.Errorf("%w (source stepping stalled at scale %.4f)", ErrNoConvergence, scale)
 		}
 	}
-	if it, conv := c.newton(x, opts, opts.Gmin, 1); conv {
-		return &DCResult{X: x, Iterations: total + it, circuit: c}, nil
+	it, conv := c.newton(x, opts, opts.Gmin, 1)
+	total += it
+	if conv {
+		return &DCResult{X: x, Iterations: total, circuit: c}, nil
 	}
 	return nil, ErrNoConvergence
 }
 
 // newton runs damped Newton iterations in place on x. It reports the
-// number of iterations used and whether the run converged.
+// number of iterations used and whether the run converged. The Jacobian,
+// residual, LU factorization, and update vector live in the circuit's
+// scratch space and are reused across iterations and attempts.
 func (c *Circuit) newton(x linalg.Vector, opts DCOptions, gmin, srcScale float64) (int, bool) {
 	n := c.NumVars()
 	nodes := c.NumNodes()
-	jac := linalg.NewMatrix(n, n)
-	res := linalg.NewVector(n)
+	w := c.dcScratch(n)
+	jac, res, dx := w.jac, w.res, w.dx
 	ctx := &stampCtx{srcScale: srcScale, gmin: gmin}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
@@ -145,11 +187,10 @@ func (c *Circuit) newton(x linalg.Vector, opts DCOptions, gmin, srcScale float64
 			res[i] += gmin * x[i]
 		}
 
-		lu, err := linalg.NewLU(jac)
-		if err != nil {
+		if err := w.lu.Factor(jac); err != nil {
 			return iter, false
 		}
-		dx := lu.Solve(res)
+		w.lu.SolveInto(dx, res)
 
 		// Damped update with per-variable step limiting on voltages.
 		maxdv := 0.0

@@ -8,13 +8,19 @@ package wcd
 import (
 	"errors"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"specwise/internal/linalg"
 	"specwise/internal/problem"
 )
 
 // MarginFunc evaluates one spec's normalized margin (>= 0 means pass) at a
-// point in the normalized statistical space.
+// point in the normalized statistical space. When Options.GradWorkers
+// enables parallel gradients, the function must be safe for concurrent
+// calls (the circuit evaluation layer builds a fresh circuit per call, so
+// its margins are).
 type MarginFunc func(s []float64) (float64, error)
 
 // Options tunes the worst-case distance search.
@@ -22,7 +28,7 @@ type Options struct {
 	MaxIter   int     // SQP-style iterations (default 15)
 	Tol       float64 // |margin| convergence tolerance (default 1e-4)
 	FDStep    float64 // finite-difference step in sigma units (default 0.1)
-	MaxRadius float64 // clamp on ‖s_wc‖ for insensitive specs (default 8)
+	MaxRadius float64 // clamp on ‖s_wc‖ for insensitive specs (default 6)
 	Damping   float64 // step damping factor in (0,1] (default 1.0)
 	// Starts is the number of search starts (default 3): the nominal
 	// point plus randomized restarts. Restarts are essential for
@@ -33,6 +39,12 @@ type Options struct {
 	Starts int
 	// Seed drives the deterministic restart perturbations.
 	Seed uint64
+	// GradWorkers bounds the worker pool for finite-difference gradient
+	// probes: 0 picks min(dim, GOMAXPROCS), 1 forces serial probing, and
+	// larger values cap the pool explicitly. The probes are independent
+	// and assembled in index order, so the gradient — and every result
+	// derived from it — is identical for any worker count.
+	GradWorkers int
 }
 
 func (o *Options) defaults() {
@@ -82,36 +94,100 @@ type WorstCase struct {
 // at s, reused to save one evaluation per component. A NaN probe (broken
 // circuit) is retried in the opposite direction; if both sides fail the
 // component is treated as locally insensitive rather than poisoning the
-// whole gradient.
-func gradient(m MarginFunc, s []float64, f0, h float64) (linalg.Vector, int, error) {
+// whole gradient. With workers > 1 the independent probes fan out over a
+// bounded pool; each component's value lands at its own index and errors
+// are reported in index order, so the result is bit-identical to the
+// serial path regardless of scheduling.
+func gradient(m MarginFunc, s []float64, f0, h float64, workers int) (linalg.Vector, int, error) {
+	dim := len(s)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > dim {
+		workers = dim
+	}
+	if workers <= 1 {
+		return gradientSerial(m, s, f0, h)
+	}
+
+	g := linalg.NewVector(dim)
+	errs := make([]error, dim)
+	var evals atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work := make([]float64, dim)
+			copy(work, s)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= dim {
+					return
+				}
+				fi, n, err := probe(m, work, s, i, f0, h)
+				evals.Add(int64(n))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				g[i] = fi
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, int(evals.Load()), err
+		}
+	}
+	return g, int(evals.Load()), nil
+}
+
+// gradientSerial is the single-goroutine probe loop.
+func gradientSerial(m MarginFunc, s []float64, f0, h float64) (linalg.Vector, int, error) {
 	g := linalg.NewVector(len(s))
 	work := make([]float64, len(s))
 	copy(work, s)
 	evals := 0
 	for i := range s {
-		work[i] = s[i] + h
-		fi, err := m(work)
-		evals++
+		gi, n, err := probe(m, work, s, i, f0, h)
+		evals += n
 		if err != nil {
 			return nil, evals, err
 		}
-		if math.IsNaN(fi) {
-			work[i] = s[i] - h
-			fi, err = m(work)
-			evals++
-			if err != nil {
-				return nil, evals, err
-			}
-			fi = f0 - (fi - f0) // mirror the backward difference
-		}
-		work[i] = s[i]
-		if math.IsNaN(fi) {
-			g[i] = 0
-			continue
-		}
-		g[i] = (fi - f0) / h
+		g[i] = gi
 	}
 	return g, evals, nil
+}
+
+// probe computes one gradient component using work as scratch (restored
+// to s[i] before returning). It returns the component value and the
+// number of margin evaluations spent.
+func probe(m MarginFunc, work, s []float64, i int, f0, h float64) (float64, int, error) {
+	work[i] = s[i] + h
+	fi, err := m(work)
+	evals := 1
+	if err != nil {
+		work[i] = s[i]
+		return 0, evals, err
+	}
+	if math.IsNaN(fi) {
+		work[i] = s[i] - h
+		fi, err = m(work)
+		evals++
+		if err != nil {
+			work[i] = s[i]
+			return 0, evals, err
+		}
+		fi = f0 - (fi - f0) // mirror the backward difference
+	}
+	work[i] = s[i]
+	if math.IsNaN(fi) {
+		return 0, evals, nil
+	}
+	return (fi - f0) / h, evals, nil
 }
 
 // FindWorstCase solves Eq. 8 for one spec by the iterative linearization
@@ -240,7 +316,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 	}
 	var grad linalg.Vector
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		g, n, err := gradient(m, s, margin, opts.FDStep)
+		g, n, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
 		evals += n
 		if err != nil {
 			return nil, evals, err
@@ -262,7 +338,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 				if math.Abs(margin) <= 10*opts.Tol {
 					wc.Converged = true
 				}
-				gBnd, n2, err := gradient(m, s, margin, opts.FDStep)
+				gBnd, n2, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
 				evals += n2
 				if err != nil {
 					return nil, evals, err
@@ -343,7 +419,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 		}
 	}
 	// Refresh the gradient at the final point for the linear model.
-	gFinal, n, err := gradient(m, s, margin, opts.FDStep)
+	gFinal, n, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
 	evals += n
 	if err != nil {
 		return nil, evals, err
