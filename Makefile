@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench benchsmoke check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke check serve
 
 all: check
 
@@ -18,6 +18,15 @@ bench: build
 			-baseline BENCH_baseline.txt \
 			-note "make bench ($(BENCH_PATTERN), -benchtime 1x, single run); baseline = pre-memoization seed (commit 3e9f61b)"
 
+# Performance regression gate: re-run the hottest benchmark and fail
+# (exit nonzero) if it is more than 20% slower than the committed
+# BENCH_core.json. Run this before merging changes that touch the
+# simulation or optimization hot path; it is not part of `make check`
+# because a full Table-1 optimization takes minutes.
+bench-check: build
+	$(GO) test -run xxx -bench Table1 -benchtime 1x . \
+		| $(GO) run ./cmd/benchreport -o /dev/null -compare BENCH_core.json
+
 # One-iteration smoke of the hottest benchmark so `make check` notices a
 # broken or pathologically slow optimization path without paying for the
 # full suite.
@@ -30,10 +39,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The jobs and server layers are the concurrency-heavy code paths; run
-# them under the race detector on every check.
+# The jobs and server layers are the concurrency-heavy code paths; the
+# spice and wcd packages join them because the optimizer evaluates
+# circuits (and their shared solver-stat counters) from parallel
+# gradient workers.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/core/...
+	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/core/... \
+		./internal/spice/... ./internal/wcd/...
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +56,8 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Pre-merge gate. For hot-path changes, additionally run `make
+# bench-check` to catch >20% ns/op regressions against BENCH_core.json.
 check: build vet fmt test race benchsmoke
 
 # Run the yield-optimization daemon locally.

@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -40,6 +41,8 @@ func main() {
 	out := flag.String("o", "BENCH_core.json", "output JSON file")
 	note := flag.String("note", "", "free-form context recorded in the report")
 	baseline := flag.String("baseline", "", "raw `go test -bench` output file parsed into the baseline section")
+	compare := flag.String("compare", "", "reference file (raw bench output or a benchreport JSON); exit nonzero when any shared benchmark regresses in ns/op beyond -threshold")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op regression for -compare (0.20 = 20%)")
 	flag.Parse()
 
 	rep := Report{Note: *note}
@@ -79,6 +82,88 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchreport: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+
+	if *compare != "" {
+		ref, err := parseReference(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		if regressed := compareRuns(os.Stderr, rep.Benchmarks, ref, *threshold); regressed {
+			os.Exit(2)
+		}
+	}
+}
+
+// parseReference loads comparison entries from either a benchreport JSON
+// document (its benchmarks section) or raw `go test -bench` output,
+// sniffing the format from the first non-space byte.
+func parseReference(path string) ([]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(buf))
+	if strings.HasPrefix(trimmed, "{") {
+		var rep Report
+		if err := json.Unmarshal(buf, &rep); err != nil {
+			return nil, fmt.Errorf("parsing %s as benchreport JSON: %w", path, err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			return nil, fmt.Errorf("no benchmarks in %s", path)
+		}
+		return rep.Benchmarks, nil
+	}
+	return parseFile(path)
+}
+
+// benchKey normalizes a benchmark name for cross-machine comparison by
+// dropping the -N GOMAXPROCS suffix the testing package appends.
+func benchKey(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compareRuns checks every current benchmark that also appears in ref:
+// an ns/op increase beyond the threshold fraction is a regression. It
+// reports true when any benchmark regressed.
+func compareRuns(w io.Writer, cur, ref []Entry, threshold float64) bool {
+	refNs := make(map[string]float64, len(ref))
+	for _, e := range ref {
+		if ns, ok := e.Metrics["ns/op"]; ok {
+			refNs[benchKey(e.Name)] = ns
+		}
+	}
+	regressed := false
+	compared := 0
+	for _, e := range cur {
+		ns, ok := e.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		base, ok := refNs[benchKey(e.Name)]
+		if !ok || base <= 0 {
+			continue
+		}
+		compared++
+		delta := ns/base - 1
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "benchreport: compare %-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			benchKey(e.Name), base, ns, delta*100, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchreport: compare found no overlapping benchmarks with ns/op")
+		return true
+	}
+	return regressed
 }
 
 // parseFile extracts every benchmark line from a raw bench-output file.

@@ -44,8 +44,9 @@ type testbench struct {
 // results stay deterministic under the optimizer's concurrency and the
 // evaluation cache.
 type simHarness struct {
-	stats spice.DCStats
-	refOP linalg.Vector // nil when the reference solve failed
+	stats  spice.DCStats
+	solver spice.SolverStats
+	refOP  linalg.Vector // nil when the reference solve failed
 }
 
 // newSimHarness solves tb0 cold and records its operating point as the
@@ -59,9 +60,11 @@ func newSimHarness(tb0 *testbench) *simHarness {
 	return h
 }
 
-// arm points tb's DC solves at the harness reference and counters.
+// arm points tb's DC solves at the harness reference and counters, and
+// its circuit's linear-solver effort at the shared solver counters.
 func (h *simHarness) arm(tb *testbench) *testbench {
 	tb.dcOpts = spice.DCOptions{InitialX: h.refOP, Stats: &h.stats}
+	tb.ckt.SolverStats = &h.solver
 	return tb
 }
 
@@ -69,10 +72,16 @@ func (h *simHarness) arm(tb *testbench) *testbench {
 // implementing problem.Problem.SimStats.
 func (h *simHarness) counters() problem.SimCounters {
 	return problem.SimCounters{
-		WarmStarts:    h.stats.WarmStarts.Load(),
-		WarmConverged: h.stats.WarmConverged.Load(),
-		Fallbacks:     h.stats.Fallbacks.Load(),
-		NewtonIters:   h.stats.NewtonIters.Load(),
+		WarmStarts:     h.stats.WarmStarts.Load(),
+		WarmConverged:  h.stats.WarmConverged.Load(),
+		Fallbacks:      h.stats.Fallbacks.Load(),
+		NewtonIters:    h.stats.NewtonIters.Load(),
+		Solver:         h.solver.Kind(),
+		Factorizations: h.solver.Factorizations.Load(),
+		Solves:         h.solver.Solves.Load(),
+		SymbolicFacts:  h.solver.Symbolic.Load(),
+		MatrixNNZ:      h.solver.MatrixNNZ.Load(),
+		FactorNNZ:      h.solver.FactorNNZ.Load(),
 	}
 }
 

@@ -343,10 +343,16 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 		// simulator counters.
 		now := o.problem.SimStats()
 		res.Sim = SimCounters{
-			WarmStarts:    now.WarmStarts - o.sim0.WarmStarts,
-			WarmConverged: now.WarmConverged - o.sim0.WarmConverged,
-			Fallbacks:     now.Fallbacks - o.sim0.Fallbacks,
-			NewtonIters:   now.NewtonIters - o.sim0.NewtonIters,
+			WarmStarts:     now.WarmStarts - o.sim0.WarmStarts,
+			WarmConverged:  now.WarmConverged - o.sim0.WarmConverged,
+			Fallbacks:      now.Fallbacks - o.sim0.Fallbacks,
+			NewtonIters:    now.NewtonIters - o.sim0.NewtonIters,
+			Solver:         now.Solver,
+			Factorizations: now.Factorizations - o.sim0.Factorizations,
+			Solves:         now.Solves - o.sim0.Solves,
+			SymbolicFacts:  now.SymbolicFacts - o.sim0.SymbolicFacts,
+			MatrixNNZ:      now.MatrixNNZ,
+			FactorNNZ:      now.FactorNNZ,
 		}
 	}
 	return res, nil

@@ -38,6 +38,15 @@ type Metrics struct {
 	warmStarts      atomic.Int64
 	warmConverged   atomic.Int64
 	dcFallbacks     atomic.Int64
+
+	// Linear-solver effort underneath the Newton iterations, aggregated
+	// over completed runs; the NNZ gauges describe the last observed MNA
+	// system and its factors.
+	solverFactorizations atomic.Int64
+	solverSolves         atomic.Int64
+	solverSymbolic       atomic.Int64
+	solverMatrixNNZ      atomic.Int64
+	solverFactorNNZ      atomic.Int64
 }
 
 // noteRun folds one finished optimization's evaluation-reuse counters
@@ -48,6 +57,15 @@ func (m *Metrics) noteRun(res *core.Result) {
 	m.warmStarts.Add(res.Sim.WarmStarts)
 	m.warmConverged.Add(res.Sim.WarmConverged)
 	m.dcFallbacks.Add(res.Sim.Fallbacks)
+	m.solverFactorizations.Add(res.Sim.Factorizations)
+	m.solverSolves.Add(res.Sim.Solves)
+	m.solverSymbolic.Add(res.Sim.SymbolicFacts)
+	if res.Sim.MatrixNNZ != 0 {
+		m.solverMatrixNNZ.Store(res.Sim.MatrixNNZ)
+	}
+	if res.Sim.FactorNNZ != 0 {
+		m.solverFactorNNZ.Store(res.Sim.FactorNNZ)
+	}
 }
 
 // CacheEvictions returns the number of results dropped by the LRU cap.
@@ -96,6 +114,11 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_dc_warm_starts_total %d\n", m.warmStarts.Load())
 	fmt.Fprintf(w, "specwised_dc_warm_converged_total %d\n", m.warmConverged.Load())
 	fmt.Fprintf(w, "specwised_dc_fallbacks_total %d\n", m.dcFallbacks.Load())
+	fmt.Fprintf(w, "specwised_solver_factorizations_total %d\n", m.solverFactorizations.Load())
+	fmt.Fprintf(w, "specwised_solver_solves_total %d\n", m.solverSolves.Load())
+	fmt.Fprintf(w, "specwised_solver_symbolic_factorizations_total %d\n", m.solverSymbolic.Load())
+	fmt.Fprintf(w, "specwised_solver_matrix_nnz %d\n", m.solverMatrixNNZ.Load())
+	fmt.Fprintf(w, "specwised_solver_factor_nnz %d\n", m.solverFactorNNZ.Load())
 	fmt.Fprintf(w, "specwised_workers %d\n", m.workers)
 	fmt.Fprintf(w, "specwised_worker_busy_seconds_total %.6f\n",
 		time.Duration(m.busyNanos.Load()).Seconds())

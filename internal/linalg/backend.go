@@ -1,0 +1,257 @@
+package linalg
+
+// This file defines the solver-agnostic assembly and factorization
+// interfaces the circuit simulator targets, plus the dense reference
+// implementations. The MNA matrices the simulator builds are mostly
+// structural zeros, so the spice layer stamps through Stamper/CStamper
+// and lets the selected backend decide the storage: the dense backends
+// here wrap the existing Matrix/LU and CMatrix elimination unchanged,
+// while sparse.go provides compressed-column backends with a
+// symbolic/numeric factorization split.
+
+// Stamper accumulates real matrix entries during system assembly. Device
+// stamps write their Jacobian contributions through this interface so
+// the matrix representation stays pluggable.
+type Stamper interface {
+	// Addto adds v to entry (i, j).
+	Addto(i, j int, v float64)
+}
+
+// CStamper is the complex analogue of Stamper, used for the AC system
+// (G + jωC) assembly.
+type CStamper interface {
+	Addto(i, j int, v complex128)
+}
+
+// SolverStats is a value snapshot of the work a solver backend has done
+// since construction. Counters are cumulative; N, NNZ and FillNNZ
+// describe the current system.
+type SolverStats struct {
+	// Kind names the backend ("dense" or "sparse").
+	Kind string
+	// N is the system order.
+	N int
+	// NNZ is the number of stored matrix entries (n² for dense).
+	NNZ int
+	// FillNNZ is the number of stored factor entries, L plus U (n² for
+	// dense); FillNNZ − NNZ is the fill-in of the factorization.
+	FillNNZ int
+	// Symbolic counts symbolic factorizations: pattern analysis, the
+	// fill-reducing ordering and pivot-order selection. The sparse
+	// backend pays this once per topology and reuses it across every
+	// numeric refactorization.
+	Symbolic int64
+	// Factorizations counts numeric factorizations.
+	Factorizations int64
+	// Solves counts triangular solves.
+	Solves int64
+}
+
+// Solver is a real linear-system backend over a reusable assembly
+// structure. The cycle is Reset (clear values), stamp through Addto,
+// Factor, then SolveInto — repeated across Newton iterations with the
+// structure discovered on the first assembly reused afterwards.
+type Solver interface {
+	Stamper
+	// Order returns the system order n.
+	Order() int
+	// Reset clears the assembled values for a fresh round of stamping.
+	Reset()
+	// Factor factors the assembled matrix, returning ErrSingular (wrapped
+	// in a PivotError) when a pivot vanishes.
+	Factor() error
+	// SolveInto solves A x = b with the current factorization. x and b
+	// must have length Order and must not alias.
+	SolveInto(x, b Vector) error
+	// Stats snapshots the backend's work counters.
+	Stats() SolverStats
+}
+
+// ComplexSolver is the complex analogue of Solver, used for the AC
+// frequency sweep: one Reset/stamp/Factor/SolveInto cycle per frequency
+// point over a fixed sparsity structure.
+type ComplexSolver interface {
+	CStamper
+	Order() int
+	Reset()
+	Factor() error
+	SolveInto(x, b []complex128) error
+	Stats() SolverStats
+}
+
+// DenseSolver adapts the dense Matrix storage and LU factorization to
+// the Solver interface. It is the reference backend: simple, pivot-robust
+// and bit-identical to the pre-interface dense path.
+type DenseSolver struct {
+	a     *Matrix
+	lu    *LU
+	stats SolverStats
+}
+
+// NewDenseSolver returns a dense backend for order-n systems.
+func NewDenseSolver(n int) *DenseSolver {
+	return &DenseSolver{
+		a:     NewMatrix(n, n),
+		lu:    NewLUWorkspace(n),
+		stats: SolverStats{Kind: "dense", N: n, NNZ: n * n, FillNNZ: n * n},
+	}
+}
+
+// Addto implements Stamper.
+func (s *DenseSolver) Addto(i, j int, v float64) { s.a.Addto(i, j, v) }
+
+// Order implements Solver.
+func (s *DenseSolver) Order() int { return s.a.Rows }
+
+// Reset implements Solver.
+func (s *DenseSolver) Reset() { s.a.Zero() }
+
+// Factor implements Solver.
+func (s *DenseSolver) Factor() error {
+	s.stats.Factorizations++
+	return s.lu.Factor(s.a)
+}
+
+// SolveInto implements Solver.
+func (s *DenseSolver) SolveInto(x, b Vector) error {
+	s.lu.SolveInto(x, b)
+	s.stats.Solves++
+	return nil
+}
+
+// Stats implements Solver.
+func (s *DenseSolver) Stats() SolverStats { return s.stats }
+
+// DenseComplexSolver adapts dense complex storage and partially pivoted
+// elimination to the ComplexSolver interface. Splitting Factor from
+// SolveInto reorders no floating-point operation relative to the fused
+// CSolve elimination, so solutions stay bit-identical to the historical
+// AC path.
+type DenseComplexSolver struct {
+	a     *CMatrix
+	lu    *CMatrix
+	piv   []int
+	x     []complex128
+	stats SolverStats
+}
+
+// NewDenseComplexSolver returns a dense complex backend for order-n
+// systems.
+func NewDenseComplexSolver(n int) *DenseComplexSolver {
+	return &DenseComplexSolver{
+		a:     NewCMatrix(n, n),
+		lu:    NewCMatrix(n, n),
+		piv:   make([]int, n),
+		stats: SolverStats{Kind: "dense", N: n, NNZ: n * n, FillNNZ: n * n},
+	}
+}
+
+// Addto implements CStamper.
+func (s *DenseComplexSolver) Addto(i, j int, v complex128) { s.a.Addto(i, j, v) }
+
+// Order implements ComplexSolver.
+func (s *DenseComplexSolver) Order() int { return s.a.Rows }
+
+// Reset implements ComplexSolver.
+func (s *DenseComplexSolver) Reset() { s.a.Zero() }
+
+// Factor implements ComplexSolver: partially pivoted elimination storing
+// the multipliers below the diagonal. The pivot choice (squared
+// magnitude) and update order match csolve exactly.
+func (s *DenseComplexSolver) Factor() error {
+	s.stats.Factorizations++
+	n := s.lu.Rows
+	copy(s.lu.Data, s.a.Data)
+	data := s.lu.Data
+	for i := range s.piv {
+		s.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, maxv := k, sqmag(data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := sqmag(data[i*n+k]); v > maxv {
+				p, maxv = i, v
+			}
+		}
+		if maxv == 0 {
+			return &PivotError{Index: k, Err: ErrSingular}
+		}
+		if p != k {
+			rk, rp := data[k*n:(k+1)*n], data[p*n:(p+1)*n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			s.piv[k], s.piv[p] = s.piv[p], s.piv[k]
+		}
+		pivot := data[k*n+k]
+		pd := newPivotDiv(pivot)
+		for i := k + 1; i < n; i++ {
+			e := data[i*n+k]
+			if e == 0 {
+				continue
+			}
+			m := pd.div(e, pivot)
+			data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri, rk := data[i*n:(i+1)*n], data[k*n:(k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// SolveInto implements ComplexSolver.
+func (s *DenseComplexSolver) SolveInto(x, b []complex128) error {
+	n := s.lu.Rows
+	if len(x) != n || len(b) != n {
+		return errDimension
+	}
+	data := s.lu.Data
+	for i := 0; i < n; i++ {
+		x[i] = b[s.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		row := data[i*n : (i+1)*n]
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := data[i*n : (i+1)*n]
+		sum := x[i]
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum / row[i]
+	}
+	s.stats.Solves++
+	return nil
+}
+
+// Stats implements ComplexSolver.
+func (s *DenseComplexSolver) Stats() SolverStats { return s.stats }
+
+// CaptureValues copies the dense assembly (row-major, zeros included)
+// into dst, reusing its capacity. See SparseComplexSolver.CaptureValues
+// for the affine-reassembly protocol it supports.
+func (s *DenseComplexSolver) CaptureValues(dst []complex128) []complex128 {
+	return append(dst[:0], s.a.Data...)
+}
+
+// LoadValues overwrites the dense assembly with base[k] + t·slope[k],
+// reporting false on a length mismatch.
+func (s *DenseComplexSolver) LoadValues(base, slope []complex128, t float64) bool {
+	if len(base) != len(s.a.Data) || len(slope) != len(s.a.Data) {
+		return false
+	}
+	for k, sl := range slope {
+		s.a.Data[k] = base[k] + complex(real(sl)*t, imag(sl)*t)
+	}
+	return true
+}

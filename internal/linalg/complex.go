@@ -108,7 +108,7 @@ func csolve(lu *CMatrix, x []complex128) ([]complex128, error) {
 			}
 		}
 		if maxv == 0 {
-			return nil, ErrSingular
+			return nil, &PivotError{Index: k, Err: ErrSingular}
 		}
 		if p != k {
 			rk, rp := data[k*n:(k+1)*n], data[p*n:(p+1)*n]

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -121,7 +122,7 @@ func TestLUSolveKnown(t *testing.T) {
 
 func TestLUSingular(t *testing.T) {
 	a := FromRows([][]float64{{1, 2}, {2, 4}})
-	if _, err := NewLU(a); err != ErrSingular {
+	if _, err := NewLU(a); !errors.Is(err, ErrSingular) {
 		t.Fatalf("want ErrSingular, got %v", err)
 	}
 }
@@ -342,7 +343,7 @@ func TestCSolveSingular(t *testing.T) {
 	a.Set(0, 1, 2)
 	a.Set(1, 0, 2)
 	a.Set(1, 1, 4)
-	if _, err := CSolve(a, []complex128{1, 2}); err != ErrSingular {
+	if _, err := CSolve(a, []complex128{1, 2}); !errors.Is(err, ErrSingular) {
 		t.Fatalf("want ErrSingular, got %v", err)
 	}
 }

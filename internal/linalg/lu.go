@@ -2,12 +2,36 @@ package linalg
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
 // ErrSingular reports that a factorization encountered a (numerically)
 // singular matrix.
 var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// errDimension reports a shape mismatch between a solver and its inputs.
+var errDimension = errors.New("linalg: dimension mismatch")
+
+// PivotError wraps ErrSingular with the position of the vanished pivot,
+// so callers that know the meaning of the matrix variables (e.g. the
+// circuit layer's MNA node map) can name the offending unknown instead
+// of reporting a bare "singular matrix".
+type PivotError struct {
+	// Index is the row/column, in the matrix's original numbering, whose
+	// pivot underflowed during elimination.
+	Index int
+	// Err is the underlying sentinel, normally ErrSingular.
+	Err error
+}
+
+// Error implements error.
+func (e *PivotError) Error() string {
+	return fmt.Sprintf("%v (zero pivot at index %d)", e.Err, e.Index)
+}
+
+// Unwrap makes errors.Is(err, ErrSingular) hold for wrapped pivots.
+func (e *PivotError) Unwrap() error { return e.Err }
 
 // LU holds an in-place LU factorization with partial pivoting, PA = LU.
 // It is reusable in two ways: Solve may be called repeatedly with
@@ -63,7 +87,7 @@ func (f *LU) Factor(a *Matrix) error {
 			}
 		}
 		if maxv == 0 || math.IsNaN(maxv) {
-			return ErrSingular
+			return &PivotError{Index: k, Err: ErrSingular}
 		}
 		if p != k {
 			rk, rp := lu.Row(k), lu.Row(p)

@@ -1,0 +1,676 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// This file implements the sparse linear-solver backend: triplet (COO)
+// assembly compiled once into compressed-sparse-column form, a
+// fill-reducing minimum-degree ordering, and a left-looking
+// Gilbert–Peierls LU with partial pivoting split into a symbolic
+// factorization (pattern + pivot order, computed once per topology) and
+// a numeric refactorization that replays the stored elimination on new
+// values. MNA matrices are ~80% structural zeros and every Newton
+// iteration, AC frequency point and transient step re-solves the same
+// structure, so the amortized cost per solve is O(flops on nonzeros)
+// instead of O(n³).
+//
+// The real and complex backends share one generic core; complex pivot
+// magnitudes use |·|² (monotone in |·|, no square root), matching the
+// dense complex elimination.
+
+// scalar is the element domain shared by the real and complex sparse
+// backends.
+type scalar interface {
+	float64 | complex128
+}
+
+// absq returns |v|² for either element type.
+func absq[T scalar](v T) float64 {
+	switch x := any(v).(type) {
+	case float64:
+		return x * x
+	case complex128:
+		return real(x)*real(x) + imag(x)*imag(x)
+	}
+	return 0
+}
+
+// errRepivot is an internal signal from refactor: the stored pivot order
+// has become numerically inadequate for the new values and the caller
+// must redo the full (symbolic) factorization.
+var errRepivot = errors.New("linalg: sparse refactorization needs new pivots")
+
+// refactorGuard2 is the squared pivot-degeneracy threshold: a
+// refactorization pivot whose squared magnitude falls below
+// refactorGuard2 times the squared column maximum triggers errRepivot.
+// (1e-6 == (1e-3)², i.e. the classic 0.001 threshold-pivoting bound.)
+const refactorGuard2 = 1e-6
+
+// spMatrix is the assembly buffer: triplets while the structure is being
+// discovered, compressed sparse columns (rows sorted, duplicates merged)
+// afterwards. Stamping an entry outside the compiled structure drops the
+// matrix back to triplet form so the next Factor recompiles — analyses
+// with different footprints (DC vs transient companion stamps) can share
+// one buffer.
+type spMatrix[T scalar] struct {
+	n        int
+	compiled bool
+	ti, tj   []int32 // triplet rows/cols (assembly mode)
+	tv       []T     // triplet values
+	colp     []int32 // CSC column pointers, len n+1 (compiled)
+	rowi     []int32 // CSC row indices, sorted within each column
+	vals     []T     // CSC values
+}
+
+func newSPMatrix[T scalar](n int) *spMatrix[T] {
+	return &spMatrix[T]{n: n}
+}
+
+// addto accumulates entry (i, j) += v in either mode.
+func (m *spMatrix[T]) addto(i, j int, v T) {
+	if !m.compiled {
+		m.ti = append(m.ti, int32(i))
+		m.tj = append(m.tj, int32(j))
+		m.tv = append(m.tv, v)
+		return
+	}
+	// Columns are short (a handful of device terminals); a linear scan
+	// beats binary search at these lengths.
+	r := int32(i)
+	for t := m.colp[j]; t < m.colp[j+1]; t++ {
+		if m.rowi[t] == r {
+			m.vals[t] += v
+			return
+		}
+	}
+	m.grow(i, j, v)
+}
+
+// zero clears the assembled values, keeping the compiled structure.
+func (m *spMatrix[T]) zero() {
+	if !m.compiled {
+		m.ti, m.tj, m.tv = m.ti[:0], m.tj[:0], m.tv[:0]
+		return
+	}
+	var z T
+	for i := range m.vals {
+		m.vals[i] = z
+	}
+}
+
+// grow reopens the structure for an entry outside the compiled pattern:
+// the current values decompile back to triplets (preserving the partial
+// assembly in flight) and the new entry is appended.
+func (m *spMatrix[T]) grow(i, j int, v T) {
+	ti := make([]int32, 0, len(m.rowi)+8)
+	tj := make([]int32, 0, len(m.rowi)+8)
+	tv := make([]T, 0, len(m.rowi)+8)
+	for col := 0; col < m.n; col++ {
+		for t := m.colp[col]; t < m.colp[col+1]; t++ {
+			ti = append(ti, m.rowi[t])
+			tj = append(tj, int32(col))
+			tv = append(tv, m.vals[t])
+		}
+	}
+	m.ti = append(ti, int32(i))
+	m.tj = append(tj, int32(j))
+	m.tv = append(tv, v)
+	m.colp, m.rowi, m.vals = nil, nil, nil
+	m.compiled = false
+}
+
+// compile converts the triplets to CSC with sorted rows and merged
+// duplicates, then drops the triplet storage.
+func (m *spMatrix[T]) compile() {
+	n := m.n
+	colp := make([]int32, n+1)
+	for _, j := range m.tj {
+		colp[j+1]++
+	}
+	for j := 0; j < n; j++ {
+		colp[j+1] += colp[j]
+	}
+	ri := make([]int32, len(m.ti))
+	vv := make([]T, len(m.ti))
+	next := append([]int32(nil), colp[:n]...)
+	for t := range m.ti {
+		j := m.tj[t]
+		p := next[j]
+		next[j]++
+		ri[p] = m.ti[t]
+		vv[p] = m.tv[t]
+	}
+	// Sort each column by row (insertion sort: columns are short), then
+	// merge duplicates, compacting in place.
+	out := int32(0)
+	final := make([]int32, n+1)
+	for j := 0; j < n; j++ {
+		lo, hi := colp[j], colp[j+1]
+		for a := lo + 1; a < hi; a++ {
+			r, v := ri[a], vv[a]
+			b := a
+			for b > lo && ri[b-1] > r {
+				ri[b], vv[b] = ri[b-1], vv[b-1]
+				b--
+			}
+			ri[b], vv[b] = r, v
+		}
+		for a := lo; a < hi; {
+			r := ri[a]
+			var s T
+			for a < hi && ri[a] == r {
+				s += vv[a]
+				a++
+			}
+			ri[out], vv[out] = r, s
+			out++
+		}
+		final[j+1] = out
+	}
+	m.colp, m.rowi, m.vals = final, ri[:out], vv[:out]
+	m.ti, m.tj, m.tv = nil, nil, nil
+	m.compiled = true
+}
+
+// minDegreeOrder computes a fill-reducing elimination order for the
+// pattern of A+Aᵀ with a plain minimum-degree heuristic over a bitset
+// adjacency (no quotient graph — MNA systems here are tens of unknowns,
+// so the simple O(n²·n/64) elimination is cheaper than bookkeeping).
+// Ties break on the smallest index, keeping the order deterministic.
+func minDegreeOrder(n int, colp, rowi []int32) []int32 {
+	perm := make([]int32, 0, n)
+	if n == 0 {
+		return perm
+	}
+	words := (n + 63) / 64
+	adj := make([]uint64, n*words)
+	set := func(i, j int) {
+		if i != j {
+			adj[i*words+j/64] |= 1 << uint(j%64)
+		}
+	}
+	for j := 0; j < n; j++ {
+		for t := colp[j]; t < colp[j+1]; t++ {
+			i := int(rowi[t])
+			set(i, j)
+			set(j, i)
+		}
+	}
+	alive := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		alive[i/64] |= 1 << uint(i%64)
+	}
+	isAlive := func(i int) bool { return alive[i/64]&(1<<uint(i%64)) != 0 }
+	deg := make([]int, n)
+	recompute := func(i int) {
+		row := adj[i*words : (i+1)*words]
+		d := 0
+		for w := 0; w < words; w++ {
+			d += bits.OnesCount64(row[w] & alive[w])
+		}
+		deg[i] = d
+	}
+	for i := 0; i < n; i++ {
+		recompute(i)
+	}
+	for len(perm) < n {
+		best, bestd := -1, n+1
+		for i := 0; i < n; i++ {
+			if isAlive(i) && deg[i] < bestd {
+				best, bestd = i, deg[i]
+			}
+		}
+		p := best
+		perm = append(perm, int32(p))
+		alive[p/64] &^= 1 << uint(p%64)
+		// Eliminating p connects its remaining neighbors into a clique.
+		prow := adj[p*words : (p+1)*words]
+		for i := 0; i < n; i++ {
+			if !isAlive(i) || prow[i/64]&(1<<uint(i%64)) == 0 {
+				continue
+			}
+			irow := adj[i*words : (i+1)*words]
+			for w := 0; w < words; w++ {
+				irow[w] |= prow[w]
+			}
+			irow[i/64] &^= 1 << uint(i%64)
+		}
+		for i := 0; i < n; i++ {
+			if isAlive(i) && prow[i/64]&(1<<uint(i%64)) != 0 {
+				recompute(i)
+			}
+		}
+	}
+	return perm
+}
+
+// spLU is the sparse LU state: the column order q and row permutation
+// pinv plus the L and U factors in compressed columns. U's entries are
+// stored in the topological order the symbolic elimination emitted them
+// (diagonal last), which is exactly the replay order the numeric
+// refactorization needs; L's diagonal is an implicit 1. After the
+// symbolic factorization both factors hold permuted row indices.
+type spLU[T scalar] struct {
+	n     int
+	valid bool // true when the stored pattern/pivots match the matrix
+
+	q    []int32 // column order: column q[k] is eliminated k-th
+	pinv []int32 // pinv[origRow] = pivotal position
+
+	lp, li []int32
+	lx     []T
+	up, ui []int32
+	ux     []T
+
+	// scratch
+	w      []T     // accumulation workspace; zero outside factor calls
+	sx     []T     // permuted solution workspace
+	xi     []int32 // reach pattern, topological order
+	rstack []int32 // DFS node stack
+	pstack []int32 // DFS position stack
+	flag   []int32 // DFS visited marks, keyed by column step
+}
+
+func newSPLU[T scalar](n int) *spLU[T] {
+	f := &spLU[T]{
+		n:      n,
+		pinv:   make([]int32, n),
+		w:      make([]T, n),
+		sx:     make([]T, n),
+		xi:     make([]int32, n),
+		rstack: make([]int32, n),
+		pstack: make([]int32, n),
+		flag:   make([]int32, n),
+	}
+	return f
+}
+
+// clearW zeroes the accumulation workspace after a failed factorization
+// left it in an unknown state.
+func (f *spLU[T]) clearW() {
+	var z T
+	for i := range f.w {
+		f.w[i] = z
+	}
+}
+
+// dfs pushes the reach of unvisited node i (an original row index) onto
+// xi[...top] in topological order and returns the new top. Edges run
+// from a pivotal row through its L column.
+func (f *spLU[T]) dfs(i, k, top int) int {
+	head := 0
+	f.rstack[0] = int32(i)
+	for head >= 0 {
+		i := int(f.rstack[head])
+		if f.flag[i] != int32(k) {
+			f.flag[i] = int32(k)
+			if jp := f.pinv[i]; jp >= 0 {
+				f.pstack[head] = f.lp[jp]
+			} else {
+				f.pstack[head] = 0
+			}
+		}
+		done := true
+		if jp := f.pinv[i]; jp >= 0 {
+			for t := f.pstack[head]; t < f.lp[jp+1]; t++ {
+				j := int(f.li[t])
+				if f.flag[j] != int32(k) {
+					f.pstack[head] = t + 1
+					head++
+					f.rstack[head] = int32(j)
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			head--
+			top--
+			f.xi[top] = int32(i)
+		}
+	}
+	return top
+}
+
+// factor runs the full symbolic+numeric Gilbert–Peierls factorization of
+// the compiled matrix under the stored column order. Partial pivoting
+// prefers the diagonal when it is within 10⁻¹ of the column maximum
+// (threshold pivoting keeps the MNA structure and fill stable); ties
+// break on the smallest row index for determinism.
+func (f *spLU[T]) factor(a *spMatrix[T]) error {
+	n := f.n
+	f.valid = false
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	for i := range f.flag {
+		f.flag[i] = -1
+	}
+	f.lp = append(f.lp[:0], 0)
+	f.li, f.lx = f.li[:0], f.lx[:0]
+	f.up = append(f.up[:0], 0)
+	f.ui, f.ux = f.ui[:0], f.ux[:0]
+	x := f.w
+
+	const diagPref2 = 1e-2 // (0.1)²: diagonal preference threshold
+	for k := 0; k < n; k++ {
+		col := int(f.q[k])
+		// Symbolic: pattern of x = Reach_L(pattern of A(:,col)).
+		top := n
+		for t := a.colp[col]; t < a.colp[col+1]; t++ {
+			if i := int(a.rowi[t]); f.flag[i] != int32(k) {
+				top = f.dfs(i, k, top)
+			}
+		}
+		// Numeric: x = L \ A(:,col), in topological order.
+		for t := a.colp[col]; t < a.colp[col+1]; t++ {
+			x[a.rowi[t]] = a.vals[t]
+		}
+		for p := top; p < n; p++ {
+			i := int(f.xi[p])
+			jp := int(f.pinv[i])
+			if jp < 0 {
+				continue
+			}
+			xj := x[i]
+			for t := f.lp[jp]; t < f.lp[jp+1]; t++ {
+				x[f.li[t]] -= f.lx[t] * xj
+			}
+		}
+		// Pivot among the not-yet-pivotal rows.
+		ipiv, maxv, diagv := -1, 0.0, -1.0
+		for p := top; p < n; p++ {
+			i := int(f.xi[p])
+			if f.pinv[i] >= 0 {
+				continue
+			}
+			v := absq(x[i])
+			if v > maxv || (v == maxv && ipiv >= 0 && i < ipiv) {
+				ipiv, maxv = i, v
+			}
+			if i == col {
+				diagv = v
+			}
+		}
+		if ipiv < 0 || maxv == 0 || math.IsNaN(maxv) {
+			for p := top; p < n; p++ {
+				var z T
+				x[f.xi[p]] = z
+			}
+			return &PivotError{Index: col, Err: ErrSingular}
+		}
+		if diagv >= diagPref2*maxv {
+			ipiv = col
+		}
+		pivot := x[ipiv]
+		f.pinv[ipiv] = int32(k)
+		// U column k: pivotal entries in topological (emission) order,
+		// diagonal last. L column k: the rest, divided by the pivot;
+		// row indices stay original until the final remap.
+		for p := top; p < n; p++ {
+			i := int(f.xi[p])
+			if ip := f.pinv[i]; ip >= 0 && int(ip) < k {
+				f.ui = append(f.ui, ip)
+				f.ux = append(f.ux, x[i])
+			}
+		}
+		f.ui = append(f.ui, int32(k))
+		f.ux = append(f.ux, pivot)
+		f.up = append(f.up, int32(len(f.ui)))
+		for p := top; p < n; p++ {
+			i := int(f.xi[p])
+			if f.pinv[i] < 0 {
+				f.li = append(f.li, int32(i))
+				f.lx = append(f.lx, x[i]/pivot)
+			}
+		}
+		f.lp = append(f.lp, int32(len(f.li)))
+		var z T
+		for p := top; p < n; p++ {
+			x[f.xi[p]] = z
+		}
+	}
+	// Remap L's row indices into pivotal positions so the numeric
+	// refactorization and the solves work purely in permuted space.
+	for t := range f.li {
+		f.li[t] = f.pinv[f.li[t]]
+	}
+	f.valid = true
+	return nil
+}
+
+// refactor redoes the numeric factorization on new values using the
+// stored pattern and pivot order: per column it replays the recorded
+// updates in their original emission order, so the arithmetic — and the
+// result — is bit-identical to the full factorization's numeric phase.
+// A pivot that degenerates relative to its column returns errRepivot and
+// the caller falls back to a fresh symbolic factorization.
+func (f *spLU[T]) refactor(a *spMatrix[T]) error {
+	n := f.n
+	w := f.w
+	var z T
+	for k := 0; k < n; k++ {
+		col := int(f.q[k])
+		for t := a.colp[col]; t < a.colp[col+1]; t++ {
+			w[f.pinv[a.rowi[t]]] = a.vals[t]
+		}
+		for t := f.up[k]; t < f.up[k+1]-1; t++ {
+			j := int(f.ui[t])
+			xj := w[j]
+			f.ux[t] = xj
+			for s := f.lp[j]; s < f.lp[j+1]; s++ {
+				w[f.li[s]] -= f.lx[s] * xj
+			}
+		}
+		piv := w[k]
+		pm := absq(piv)
+		colmax := pm
+		for s := f.lp[k]; s < f.lp[k+1]; s++ {
+			if v := absq(w[f.li[s]]); v > colmax {
+				colmax = v
+			}
+		}
+		if pm == 0 || math.IsNaN(pm) {
+			f.valid = false
+			f.clearW()
+			return &PivotError{Index: col, Err: ErrSingular}
+		}
+		if pm < refactorGuard2*colmax {
+			f.valid = false
+			f.clearW()
+			return errRepivot
+		}
+		f.ux[f.up[k+1]-1] = piv
+		for s := f.lp[k]; s < f.lp[k+1]; s++ {
+			f.lx[s] = w[f.li[s]] / piv
+		}
+		for t := f.up[k]; t < f.up[k+1]; t++ {
+			w[f.ui[t]] = z
+		}
+		for s := f.lp[k]; s < f.lp[k+1]; s++ {
+			w[f.li[s]] = z
+		}
+	}
+	return nil
+}
+
+// solveInto solves A x = b with the stored factors: P A Q = L U, so
+// L U (Qᵀx) = P b.
+func (f *spLU[T]) solveInto(x, b []T) {
+	n := f.n
+	sx := f.sx
+	for i := 0; i < n; i++ {
+		sx[f.pinv[i]] = b[i]
+	}
+	for j := 0; j < n; j++ {
+		xj := sx[j]
+		for t := f.lp[j]; t < f.lp[j+1]; t++ {
+			sx[f.li[t]] -= f.lx[t] * xj
+		}
+	}
+	for j := n - 1; j >= 0; j-- {
+		xj := sx[j] / f.ux[f.up[j+1]-1]
+		sx[j] = xj
+		for t := f.up[j]; t < f.up[j+1]-1; t++ {
+			sx[f.ui[t]] -= f.ux[t] * xj
+		}
+	}
+	for j := 0; j < n; j++ {
+		x[f.q[j]] = sx[j]
+	}
+}
+
+// sparseCore bundles assembly and factorization state shared by the real
+// and complex exported backends.
+type sparseCore[T scalar] struct {
+	a     *spMatrix[T]
+	lu    *spLU[T]
+	stats SolverStats
+}
+
+func newSparseCore[T scalar](n int) sparseCore[T] {
+	return sparseCore[T]{
+		a:     newSPMatrix[T](n),
+		lu:    newSPLU[T](n),
+		stats: SolverStats{Kind: "sparse", N: n},
+	}
+}
+
+// ensureCompiled freezes the assembled structure: triplets are merged
+// into CSC form and a fresh fill-reducing order is computed. A no-op
+// when the structure is already compiled.
+func (s *sparseCore[T]) ensureCompiled() {
+	if s.a.compiled {
+		return
+	}
+	s.a.compile()
+	s.lu.valid = false
+	s.lu.q = minDegreeOrder(s.a.n, s.a.colp, s.a.rowi)
+	s.stats.NNZ = len(s.a.rowi)
+}
+
+func (s *sparseCore[T]) factor() error {
+	s.stats.Factorizations++
+	s.ensureCompiled()
+	var err error
+	if !s.lu.valid {
+		s.stats.Symbolic++
+		err = s.lu.factor(s.a)
+	} else if err = s.lu.refactor(s.a); errors.Is(err, errRepivot) {
+		s.stats.Symbolic++
+		err = s.lu.factor(s.a)
+	}
+	if err == nil {
+		s.stats.FillNNZ = len(s.lu.li) + len(s.lu.ui)
+	}
+	return err
+}
+
+// SparseSolver is the sparse real backend implementing Solver. The first
+// Factor after a structural change pays compilation, ordering and the
+// symbolic factorization; subsequent Factors are numeric-only.
+type SparseSolver struct {
+	sparseCore[float64]
+}
+
+// NewSparseSolver returns a sparse backend for order-n real systems.
+func NewSparseSolver(n int) *SparseSolver {
+	return &SparseSolver{newSparseCore[float64](n)}
+}
+
+// Addto implements Stamper.
+func (s *SparseSolver) Addto(i, j int, v float64) { s.a.addto(i, j, v) }
+
+// Order implements Solver.
+func (s *SparseSolver) Order() int { return s.a.n }
+
+// Reset implements Solver.
+func (s *SparseSolver) Reset() { s.a.zero() }
+
+// Factor implements Solver.
+func (s *SparseSolver) Factor() error { return s.factor() }
+
+// SolveInto implements Solver.
+func (s *SparseSolver) SolveInto(x, b Vector) error {
+	if len(x) != s.a.n || len(b) != s.a.n {
+		return errDimension
+	}
+	if !s.lu.valid {
+		return errors.New("linalg: SparseSolver.SolveInto before successful Factor")
+	}
+	s.lu.solveInto(x, b)
+	s.stats.Solves++
+	return nil
+}
+
+// Stats implements Solver.
+func (s *SparseSolver) Stats() SolverStats { return s.stats }
+
+// SparseComplexSolver is the sparse complex backend implementing
+// ComplexSolver, used by the AC sweep: the (G + jωC) pattern is fixed
+// across frequency points, so every point after the first is a numeric
+// refactorization plus one triangular solve.
+type SparseComplexSolver struct {
+	sparseCore[complex128]
+}
+
+// NewSparseComplexSolver returns a sparse backend for order-n complex
+// systems.
+func NewSparseComplexSolver(n int) *SparseComplexSolver {
+	return &SparseComplexSolver{newSparseCore[complex128](n)}
+}
+
+// Addto implements CStamper.
+func (s *SparseComplexSolver) Addto(i, j int, v complex128) { s.a.addto(i, j, v) }
+
+// Order implements ComplexSolver.
+func (s *SparseComplexSolver) Order() int { return s.a.n }
+
+// Reset implements ComplexSolver.
+func (s *SparseComplexSolver) Reset() { s.a.zero() }
+
+// Factor implements ComplexSolver.
+func (s *SparseComplexSolver) Factor() error { return s.factor() }
+
+// SolveInto implements ComplexSolver.
+func (s *SparseComplexSolver) SolveInto(x, b []complex128) error {
+	if len(x) != s.a.n || len(b) != s.a.n {
+		return errDimension
+	}
+	if !s.lu.valid {
+		return errors.New("linalg: SparseComplexSolver.SolveInto before successful Factor")
+	}
+	s.lu.solveInto(x, b)
+	s.stats.Solves++
+	return nil
+}
+
+// Stats implements ComplexSolver.
+func (s *SparseComplexSolver) Stats() SolverStats { return s.stats }
+
+// CaptureValues compiles the assembled structure if necessary and copies
+// the current matrix values, in the backend's stable storage order, into
+// dst (reusing its capacity). Together with LoadValues it lets a caller
+// snapshot two assemblies of a value-affine family A(t) = A0 + t·A1 —
+// e.g. the AC system G + jωC over ω — and re-materialize any member
+// with one linear pass instead of restamping every device.
+func (s *SparseComplexSolver) CaptureValues(dst []complex128) []complex128 {
+	s.ensureCompiled()
+	return append(dst[:0], s.a.vals...)
+}
+
+// LoadValues overwrites the assembled values with base[k] + t·slope[k].
+// It reports false — leaving the assembly untouched — when a captured
+// length no longer matches the compiled structure (e.g. after growth).
+func (s *SparseComplexSolver) LoadValues(base, slope []complex128, t float64) bool {
+	if !s.a.compiled || len(base) != len(s.a.vals) || len(slope) != len(s.a.vals) {
+		return false
+	}
+	for k, sl := range slope {
+		s.a.vals[k] = base[k] + complex(real(sl)*t, imag(sl)*t)
+	}
+	return true
+}

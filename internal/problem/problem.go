@@ -91,14 +91,42 @@ type SimCounters struct {
 	Fallbacks int64 `json:"fallbacks"`
 	// NewtonIters counts DC Newton iterations across all solves.
 	NewtonIters int64 `json:"newton_iters"`
+	// Solver names the linear-solver backend ("sparse" or "dense").
+	Solver string `json:"solver,omitempty"`
+	// Factorizations counts numeric matrix factorizations.
+	Factorizations int64 `json:"factorizations"`
+	// Solves counts triangular solves.
+	Solves int64 `json:"solves"`
+	// SymbolicFacts counts symbolic factorizations (sparsity analysis and
+	// fill-reducing ordering); the sparse backend pays one per topology.
+	SymbolicFacts int64 `json:"symbolic_factorizations"`
+	// MatrixNNZ is the stored-entry count of the last assembled MNA
+	// system (a gauge, not a counter).
+	MatrixNNZ int64 `json:"matrix_nnz"`
+	// FactorNNZ is the stored-entry count of its L+U factors; the excess
+	// over MatrixNNZ is the factorization fill-in.
+	FactorNNZ int64 `json:"factor_nnz"`
 }
 
-// Add accumulates o into c.
+// Add accumulates o into c: counters add, the backend name and the NNZ
+// gauges take o's values when o observed a system.
 func (c *SimCounters) Add(o SimCounters) {
 	c.WarmStarts += o.WarmStarts
 	c.WarmConverged += o.WarmConverged
 	c.Fallbacks += o.Fallbacks
 	c.NewtonIters += o.NewtonIters
+	c.Factorizations += o.Factorizations
+	c.Solves += o.Solves
+	c.SymbolicFacts += o.SymbolicFacts
+	if o.Solver != "" {
+		c.Solver = o.Solver
+	}
+	if o.MatrixNNZ != 0 {
+		c.MatrixNNZ = o.MatrixNNZ
+	}
+	if o.FactorNNZ != 0 {
+		c.FactorNNZ = o.FactorNNZ
+	}
 }
 
 // Problem is the black-box circuit abstraction the optimizer works on.

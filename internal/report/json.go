@@ -67,6 +67,15 @@ type Perf struct {
 	WarmConverged         int64 `json:"warmConverged"`
 	DCFallbacks           int64 `json:"dcFallbacks"`
 	NewtonIters           int64 `json:"newtonIters"`
+	// Linear-solver effort underneath the Newton iterations: the backend
+	// in use, its factorization/solve counts, and the sparsity of the
+	// last assembled MNA system (factorNNZ − matrixNNZ is the fill-in).
+	Solver         string `json:"solver,omitempty"`
+	Factorizations int64  `json:"factorizations"`
+	Solves         int64  `json:"solves"`
+	SymbolicFacts  int64  `json:"symbolicFactorizations"`
+	MatrixNNZ      int64  `json:"matrixNNZ,omitempty"`
+	FactorNNZ      int64  `json:"factorNNZ,omitempty"`
 }
 
 // Result is the full JSON-serializable record of an optimization run.
@@ -107,6 +116,12 @@ func JSONResult(res *core.Result) *Result {
 			WarmConverged:         res.Sim.WarmConverged,
 			DCFallbacks:           res.Sim.Fallbacks,
 			NewtonIters:           res.Sim.NewtonIters,
+			Solver:                res.Sim.Solver,
+			Factorizations:        res.Sim.Factorizations,
+			Solves:                res.Sim.Solves,
+			SymbolicFacts:         res.Sim.SymbolicFacts,
+			MatrixNNZ:             res.Sim.MatrixNNZ,
+			FactorNNZ:             res.Sim.FactorNNZ,
 		},
 	}
 	for _, s := range p.Specs {

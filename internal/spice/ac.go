@@ -16,32 +16,56 @@ type ACResult struct {
 func (r *ACResult) Voltage(node int) complex128 { return cvolt(r.X, node) }
 
 // AC solves the small-signal system (G + jωC)·x = b linearized at the
-// given DC operating point. The stamp matrix and elimination workspace
-// live in the circuit's scratch space and are reused across frequency
-// points; only the solution vector is freshly allocated, so returned
-// results stay valid across calls.
+// given DC operating point. The assembly structure and factorization
+// workspace live in the circuit's scratch space and are reused across
+// frequency points — with the sparse backend, every point after the
+// first is a numeric refactorization over the fixed (G + jωC) pattern.
+// The returned solution is freshly allocated and stays valid across
+// calls.
 func (c *Circuit) AC(dc *DCResult, omega float64) (*ACResult, error) {
 	c.finalize()
 	n := c.NumVars()
 	w := c.acScratch(n)
-	a, b := w.acA, w.acB
-	a.Zero()
+	defer func() { c.flushSolverStats(w.acSolver.Stats(), &w.acPrev) }()
+	c.acAssemble(w, dc, omega)
+	sol := w.acSolver
+	if err := sol.Factor(); err != nil {
+		return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, c.describeSolverErr(err))
+	}
+	x := make([]complex128, n)
+	if err := sol.SolveInto(x, w.acB); err != nil {
+		return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
+	}
+	return &ACResult{Omega: omega, X: x}, nil
+}
+
+// acAssemble stamps the full small-signal system at omega into the AC
+// scratch: matrix into w.acSolver, right-hand side into w.acB.
+func (c *Circuit) acAssemble(w *solverScratch, dc *DCResult, omega float64) {
+	sol, b := w.acSolver, w.acB
+	sol.Reset()
 	for i := range b {
 		b[i] = 0
 	}
 	for _, d := range c.devices {
-		d.StampAC(a, b, omega, dc.X)
+		d.StampAC(sol, b, omega, dc.X)
 	}
 	// The same gmin leak as DC keeps the AC matrix nonsingular when
 	// devices are cut off.
 	for i := 0; i < c.NumNodes(); i++ {
-		a.Addto(i, i, complex(1e-12, 0))
+		sol.Addto(i, i, complex(1e-12, 0))
 	}
-	x, err := w.acLU.SolveInto(a, b)
-	if err != nil {
-		return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
-	}
-	return &ACResult{Omega: omega, X: append([]complex128(nil), x...)}, nil
+}
+
+// affineCSolver is the optional backend capability ACSweep exploits:
+// every AC stamp has the form g + jω·c and the right-hand side is
+// frequency-independent, so the assembled system is affine in ω. A
+// backend exposing value capture/reload lets the sweep assemble twice
+// (at ω=0 and ω=1) and re-materialize the matrix at every further
+// frequency with one linear pass over the stored values.
+type affineCSolver interface {
+	CaptureValues(dst []complex128) []complex128
+	LoadValues(base, slope []complex128, t float64) bool
 }
 
 // Bode is a sampled frequency response H(f) of one observed node.
@@ -58,16 +82,50 @@ func (c *Circuit) ACSweep(dc *DCResult, node int, fStart, fStop float64, pointsP
 		return nil, fmt.Errorf("spice: invalid sweep [%g, %g] @ %d/dec", fStart, fStop, pointsPerDecade)
 	}
 	decades := math.Log10(fStop / fStart)
-	n := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
-	b := &Bode{Freq: make([]float64, n), H: make([]complex128, n)}
-	for i := 0; i < n; i++ {
-		f := fStart * math.Pow(10, decades*float64(i)/float64(n-1))
-		r, err := c.AC(dc, 2*math.Pi*f)
-		if err != nil {
-			return nil, err
+	npts := int(math.Ceil(decades*float64(pointsPerDecade))) + 1
+	b := &Bode{Freq: make([]float64, npts), H: make([]complex128, npts)}
+
+	c.finalize()
+	n := c.NumVars()
+	w := c.acScratch(n)
+	defer func() { c.flushSolverStats(w.acSolver.Stats(), &w.acPrev) }()
+	sol := w.acSolver
+
+	// The small-signal system is affine in ω (every stamp is g + jω·c,
+	// the RHS is frequency-independent), so when the backend supports
+	// value capture we stamp only twice — at ω=0 and ω=1 — and rebuild
+	// the values at each sweep point with one pass over the snapshot.
+	aff, affOK := sol.(affineCSolver)
+	if affOK {
+		c.acAssemble(w, dc, 0)
+		w.affBase = aff.CaptureValues(w.affBase)
+		c.acAssemble(w, dc, 1)
+		w.affSlope = aff.CaptureValues(w.affSlope)
+		if len(w.affSlope) == len(w.affBase) {
+			for k := range w.affSlope {
+				w.affSlope[k] -= w.affBase[k]
+			}
+		} else {
+			affOK = false // structure changed between probes; restamp per point
+		}
+	}
+	if len(w.acX) != n {
+		w.acX = make([]complex128, n)
+	}
+	for i := 0; i < npts; i++ {
+		f := fStart * math.Pow(10, decades*float64(i)/float64(npts-1))
+		omega := 2 * math.Pi * f
+		if !affOK || !aff.LoadValues(w.affBase, w.affSlope, omega) {
+			c.acAssemble(w, dc, omega)
+		}
+		if err := sol.Factor(); err != nil {
+			return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, c.describeSolverErr(err))
+		}
+		if err := sol.SolveInto(w.acX, w.acB); err != nil {
+			return nil, fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
 		}
 		b.Freq[i] = f
-		b.H[i] = r.Voltage(node)
+		b.H[i] = cvolt(w.acX, node)
 	}
 	return b, nil
 }

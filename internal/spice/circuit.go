@@ -32,34 +32,56 @@ type Circuit struct {
 	devices    []Device
 	branchDevs []branchDevice
 
+	// Opts selects per-circuit analysis configuration, notably the
+	// linear-solver backend. Set it before the first analysis; changing
+	// the backend afterwards takes effect when the system order changes.
+	Opts Options
+
+	// SolverStats, when non-nil, receives linear-solver effort counters
+	// flushed after every analysis. It may be shared across circuits.
+	SolverStats *SolverStats
+
 	scratch solverScratch
 }
 
 // solverScratch holds reusable per-circuit solver storage. Lazily sized
 // to the MNA system order; re-allocated if devices are added between
-// analyses.
+// analyses. The prev fields snapshot the backend's cumulative counters
+// at the last stats flush.
 type solverScratch struct {
-	n   int
-	jac *linalg.Matrix
-	res linalg.Vector
-	dx  linalg.Vector
-	lu  *linalg.LU
+	n      int
+	solver linalg.Solver
+	res    linalg.Vector
+	dx     linalg.Vector
+	prev   linalg.SolverStats
+	// lastFactorErr records the most recent factorization failure inside
+	// a Newton attempt, for diagnostics when the whole solve fails.
+	lastFactorErr error
 
-	acN  int
-	acA  *linalg.CMatrix
-	acB  []complex128
-	acLU *linalg.CSolver
+	acN      int
+	acSolver linalg.ComplexSolver
+	acB      []complex128
+	acPrev   linalg.SolverStats
+	// acX is the reusable sweep solution buffer; affBase/affSlope hold
+	// the affine value snapshots ACSweep captures at ω=0 and ω=1.
+	acX      []complex128
+	affBase  []complex128
+	affSlope []complex128
 }
 
 // dcScratch returns the DC Newton workspace for an order-n system.
 func (c *Circuit) dcScratch(n int) *solverScratch {
 	s := &c.scratch
-	if s.n != n || s.jac == nil {
+	if s.n != n || s.solver == nil {
 		s.n = n
-		s.jac = linalg.NewMatrix(n, n)
+		if c.solverKind() == SolverDense {
+			s.solver = linalg.NewDenseSolver(n)
+		} else {
+			s.solver = linalg.NewSparseSolver(n)
+		}
 		s.res = linalg.NewVector(n)
 		s.dx = linalg.NewVector(n)
-		s.lu = linalg.NewLUWorkspace(n)
+		s.prev = linalg.SolverStats{}
 	}
 	return s
 }
@@ -67,11 +89,15 @@ func (c *Circuit) dcScratch(n int) *solverScratch {
 // acScratch returns the AC workspace for an order-n system.
 func (c *Circuit) acScratch(n int) *solverScratch {
 	s := &c.scratch
-	if s.acN != n || s.acA == nil {
+	if s.acN != n || s.acSolver == nil {
 		s.acN = n
-		s.acA = linalg.NewCMatrix(n, n)
+		if c.solverKind() == SolverDense {
+			s.acSolver = linalg.NewDenseComplexSolver(n)
+		} else {
+			s.acSolver = linalg.NewSparseComplexSolver(n)
+		}
 		s.acB = make([]complex128, n)
-		s.acLU = linalg.NewCSolver(n)
+		s.acPrev = linalg.SolverStats{}
 	}
 	return s
 }
@@ -149,17 +175,19 @@ type stampCtx struct {
 }
 
 // Device is a circuit element that can stamp itself into the DC Jacobian /
-// residual and into the complex AC system.
+// residual and into the complex AC system. Stamps target the
+// solver-agnostic Stamper interfaces, so the same device code assembles
+// dense and compressed-column systems.
 type Device interface {
 	// Name returns the instance name (unique by convention, not enforced).
 	Name() string
 	// StampDC adds the device's Jacobian entries to jac and its branch
 	// current/voltage residuals to res, both evaluated at iterate x.
-	StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, ctx *stampCtx)
+	StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, ctx *stampCtx)
 	// StampAC adds the small-signal contribution at angular frequency
 	// omega, linearized around the DC solution xdc, into the complex
 	// system (a, b).
-	StampAC(a *linalg.CMatrix, b []complex128, omega float64, xdc linalg.Vector)
+	StampAC(a linalg.CStamper, b []complex128, omega float64, xdc linalg.Vector)
 }
 
 // branchDevice is implemented by devices that own an MNA branch variable.
@@ -168,7 +196,7 @@ type branchDevice interface {
 }
 
 // addJac accumulates jac[i][j] += v, skipping ground rows/columns.
-func addJac(jac *linalg.Matrix, i, j int, v float64) {
+func addJac(jac linalg.Stamper, i, j int, v float64) {
 	if i == groundIndex || j == groundIndex {
 		return
 	}
@@ -184,7 +212,7 @@ func addRes(res linalg.Vector, i int, v float64) {
 }
 
 // addAC accumulates a[i][j] += v, skipping ground rows/columns.
-func addAC(a *linalg.CMatrix, i, j int, v complex128) {
+func addAC(a linalg.CStamper, i, j int, v complex128) {
 	if i == groundIndex || j == groundIndex {
 		return
 	}

@@ -81,6 +81,9 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 	opts.defaults()
 	c.finalize()
 	n := c.NumVars()
+	w := c.dcScratch(n)
+	w.lastFactorErr = nil
+	defer func() { c.flushSolverStats(w.solver.Stats(), &w.prev) }()
 	x := linalg.NewVector(n)
 	warm := opts.InitialX != nil
 	if warm {
@@ -153,7 +156,7 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 		copy(x, saved)
 		step /= 2
 		if step < 1e-4 {
-			return nil, fmt.Errorf("%w (source stepping stalled at scale %.4f)", ErrNoConvergence, scale)
+			return nil, c.dcFailure(fmt.Errorf("%w (source stepping stalled at scale %.4f)", ErrNoConvergence, scale))
 		}
 	}
 	it, conv := c.newton(x, opts, opts.Gmin, 1)
@@ -161,36 +164,51 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 	if conv {
 		return &DCResult{X: x, Iterations: total, circuit: c}, nil
 	}
-	return nil, ErrNoConvergence
+	return nil, c.dcFailure(ErrNoConvergence)
+}
+
+// dcFailure attaches the last factorization failure (if any) to a DC
+// non-convergence error, naming the MNA variable whose pivot vanished.
+func (c *Circuit) dcFailure(err error) error {
+	if fe := c.scratch.lastFactorErr; fe != nil {
+		return fmt.Errorf("%w: %v", err, c.describeSolverErr(fe))
+	}
+	return err
 }
 
 // newton runs damped Newton iterations in place on x. It reports the
-// number of iterations used and whether the run converged. The Jacobian,
-// residual, LU factorization, and update vector live in the circuit's
-// scratch space and are reused across iterations and attempts.
+// number of iterations used and whether the run converged. The solver
+// backend, residual and update vector live in the circuit's scratch
+// space and are reused across iterations and attempts — the sparse
+// backend additionally reuses its symbolic factorization, so every
+// iteration after the first is a numeric-only refactorization.
 func (c *Circuit) newton(x linalg.Vector, opts DCOptions, gmin, srcScale float64) (int, bool) {
 	n := c.NumVars()
 	nodes := c.NumNodes()
 	w := c.dcScratch(n)
-	jac, res, dx := w.jac, w.res, w.dx
+	sol, res, dx := w.solver, w.res, w.dx
 	ctx := &stampCtx{srcScale: srcScale, gmin: gmin}
 
 	for iter := 1; iter <= opts.MaxIter; iter++ {
-		jac.Zero()
+		sol.Reset()
 		res.Zero()
 		for _, d := range c.devices {
-			d.StampDC(jac, res, x, ctx)
+			d.StampDC(sol, res, x, ctx)
 		}
 		// Node leak conductances stabilize floating or cut-off nodes.
 		for i := 0; i < nodes; i++ {
-			jac.Addto(i, i, gmin)
+			sol.Addto(i, i, gmin)
 			res[i] += gmin * x[i]
 		}
 
-		if err := w.lu.Factor(jac); err != nil {
+		if err := sol.Factor(); err != nil {
+			w.lastFactorErr = err
 			return iter, false
 		}
-		w.lu.SolveInto(dx, res)
+		if err := sol.SolveInto(dx, res); err != nil {
+			w.lastFactorErr = err
+			return iter, false
+		}
 
 		// Damped update with per-variable step limiting on voltages.
 		maxdv := 0.0

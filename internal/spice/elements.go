@@ -19,7 +19,7 @@ func NewResistor(name string, p, n int, ohms float64) *Resistor {
 func (r *Resistor) Name() string { return r.name }
 
 // StampDC implements Device.
-func (r *Resistor) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+func (r *Resistor) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
 	g := 1 / r.R
 	addJac(jac, r.P, r.P, g)
 	addJac(jac, r.N, r.N, g)
@@ -31,7 +31,7 @@ func (r *Resistor) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vecto
 }
 
 // StampAC implements Device.
-func (r *Resistor) StampAC(a *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {
+func (r *Resistor) StampAC(a linalg.CStamper, _ []complex128, _ float64, _ linalg.Vector) {
 	g := complex(1/r.R, 0)
 	addAC(a, r.P, r.P, g)
 	addAC(a, r.N, r.N, g)
@@ -60,10 +60,10 @@ func NewCapacitor(name string, p, n int, farads float64) *Capacitor {
 func (c *Capacitor) Name() string { return c.name }
 
 // StampDC implements Device. A capacitor is an open circuit at DC.
-func (c *Capacitor) StampDC(_ *linalg.Matrix, _ linalg.Vector, _ linalg.Vector, _ *stampCtx) {}
+func (c *Capacitor) StampDC(_ linalg.Stamper, _ linalg.Vector, _ linalg.Vector, _ *stampCtx) {}
 
 // StampAC implements Device.
-func (c *Capacitor) StampAC(a *linalg.CMatrix, _ []complex128, omega float64, _ linalg.Vector) {
+func (c *Capacitor) StampAC(a linalg.CStamper, _ []complex128, omega float64, _ linalg.Vector) {
 	y := complex(0, omega*c.C)
 	addAC(a, c.P, c.P, y)
 	addAC(a, c.N, c.N, y)
@@ -96,7 +96,7 @@ func (v *VSource) setBranch(idx int) { v.branch = idx }
 func (v *VSource) Branch() int { return v.branch }
 
 // StampDC implements Device.
-func (v *VSource) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, ctx *stampCtx) {
+func (v *VSource) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, ctx *stampCtx) {
 	ib := x[v.branch]
 	// KCL: branch current leaves P, enters N.
 	addJac(jac, v.P, v.branch, 1)
@@ -110,7 +110,7 @@ func (v *VSource) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector
 }
 
 // StampAC implements Device.
-func (v *VSource) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ linalg.Vector) {
+func (v *VSource) StampAC(a linalg.CStamper, b []complex128, _ float64, _ linalg.Vector) {
 	addAC(a, v.P, v.branch, 1)
 	addAC(a, v.N, v.branch, -1)
 	addAC(a, v.branch, v.P, 1)
@@ -135,14 +135,14 @@ func NewISource(name string, p, n int, amps float64) *ISource {
 func (s *ISource) Name() string { return s.name }
 
 // StampDC implements Device.
-func (s *ISource) StampDC(_ *linalg.Matrix, res linalg.Vector, _ linalg.Vector, ctx *stampCtx) {
+func (s *ISource) StampDC(_ linalg.Stamper, res linalg.Vector, _ linalg.Vector, ctx *stampCtx) {
 	i := ctx.srcScale * s.I
 	addRes(res, s.P, i)
 	addRes(res, s.N, -i)
 }
 
 // StampAC implements Device. Independent current sources are AC-quiet here.
-func (s *ISource) StampAC(_ *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {}
+func (s *ISource) StampAC(_ linalg.CStamper, _ []complex128, _ float64, _ linalg.Vector) {}
 
 // VCVSACMode selects the AC behaviour of a VCVS; the feedback element of
 // the opamp testbench uses it to close the loop at DC while breaking it
@@ -184,7 +184,7 @@ func (e *VCVS) setBranch(idx int) { e.branch = idx }
 func (e *VCVS) Branch() int { return e.branch }
 
 // StampDC implements Device.
-func (e *VCVS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+func (e *VCVS) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
 	ib := x[e.branch]
 	addJac(jac, e.P, e.branch, 1)
 	addJac(jac, e.N, e.branch, -1)
@@ -199,7 +199,7 @@ func (e *VCVS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _
 }
 
 // StampAC implements Device.
-func (e *VCVS) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ linalg.Vector) {
+func (e *VCVS) StampAC(a linalg.CStamper, b []complex128, _ float64, _ linalg.Vector) {
 	addAC(a, e.P, e.branch, 1)
 	addAC(a, e.N, e.branch, -1)
 	addAC(a, e.branch, e.P, 1)
@@ -231,7 +231,7 @@ func NewVCCS(name string, p, n, cp, cn int, gm float64) *VCCS {
 func (g *VCCS) Name() string { return g.name }
 
 // StampDC implements Device.
-func (g *VCCS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+func (g *VCCS) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
 	addJac(jac, g.P, g.CP, g.Gm)
 	addJac(jac, g.P, g.CN, -g.Gm)
 	addJac(jac, g.N, g.CP, -g.Gm)
@@ -242,7 +242,7 @@ func (g *VCCS) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _
 }
 
 // StampAC implements Device.
-func (g *VCCS) StampAC(a *linalg.CMatrix, _ []complex128, _ float64, _ linalg.Vector) {
+func (g *VCCS) StampAC(a linalg.CStamper, _ []complex128, _ float64, _ linalg.Vector) {
 	gm := complex(g.Gm, 0)
 	addAC(a, g.P, g.CP, gm)
 	addAC(a, g.P, g.CN, -gm)

@@ -145,7 +145,7 @@ func (m *Mosfet) terminals(x linalg.Vector) (dEff, sEff int, vgs, vds float64, s
 }
 
 // StampDC implements Device.
-func (m *Mosfet) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
+func (m *Mosfet) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, _ *stampCtx) {
 	dEff, sEff, vgs, vds, _ := m.terminals(x)
 	id, gm, gds, _ := m.eval(vgs, vds)
 	p := float64(m.Polarity)
@@ -173,7 +173,7 @@ func (m *Mosfet) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector,
 
 // StampAC implements Device: transconductance/output conductance from the
 // DC operating point plus the gate and junction capacitances.
-func (m *Mosfet) StampAC(a *linalg.CMatrix, _ []complex128, omega float64, xdc linalg.Vector) {
+func (m *Mosfet) StampAC(a linalg.CStamper, _ []complex128, omega float64, xdc linalg.Vector) {
 	dEff, sEff, vgs, vds, _ := m.terminals(xdc)
 	_, gm, gds, _ := m.eval(vgs, vds)
 

@@ -72,12 +72,12 @@ type tranDevice interface {
 	// StampTran adds the device's contribution at the new time point.
 	// dt is the step, xPrev the converged previous-state solution, and
 	// tNow the new absolute time.
-	StampTran(jac *linalg.Matrix, res linalg.Vector, x, xPrev linalg.Vector, dt, tNow, theta float64)
+	StampTran(jac linalg.Stamper, res linalg.Vector, x, xPrev linalg.Vector, dt, tNow, theta float64)
 }
 
 // StampTran implements tranDevice for capacitors using a theta-method
 // companion model: i = C/(θ·dt)·(v − v_prev) − (1−θ)/θ·i_prev.
-func (c *Capacitor) StampTran(jac *linalg.Matrix, res linalg.Vector, x, xPrev linalg.Vector, dt, _ float64, theta float64) {
+func (c *Capacitor) StampTran(jac linalg.Stamper, res linalg.Vector, x, xPrev linalg.Vector, dt, _ float64, theta float64) {
 	geq := c.C / (theta * dt)
 	vNow := volt(x, c.P) - volt(x, c.N)
 	vPrev := volt(xPrev, c.P) - volt(xPrev, c.N)
@@ -138,12 +138,12 @@ func (s *PulseSource) ValueAt(t float64) float64 {
 }
 
 // StampDC implements Device (the t=0 value).
-func (s *PulseSource) StampDC(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, ctx *stampCtx) {
+func (s *PulseSource) StampDC(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, ctx *stampCtx) {
 	stampVoltageBranch(jac, res, x, s.P, s.N, s.branch, ctx.srcScale*s.V1)
 }
 
 // StampAC implements Device: pulse sources are AC-quiet.
-func (s *PulseSource) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ linalg.Vector) {
+func (s *PulseSource) StampAC(a linalg.CStamper, b []complex128, _ float64, _ linalg.Vector) {
 	addAC(a, s.P, s.branch, 1)
 	addAC(a, s.N, s.branch, -1)
 	addAC(a, s.branch, s.P, 1)
@@ -151,12 +151,12 @@ func (s *PulseSource) StampAC(a *linalg.CMatrix, b []complex128, _ float64, _ li
 }
 
 // StampTran implements tranDevice.
-func (s *PulseSource) StampTran(jac *linalg.Matrix, res linalg.Vector, x, _ linalg.Vector, _, tNow, _ float64) {
+func (s *PulseSource) StampTran(jac linalg.Stamper, res linalg.Vector, x, _ linalg.Vector, _, tNow, _ float64) {
 	stampVoltageBranch(jac, res, x, s.P, s.N, s.branch, s.ValueAt(tNow))
 }
 
 // stampVoltageBranch stamps a fixed-voltage branch equation.
-func stampVoltageBranch(jac *linalg.Matrix, res linalg.Vector, x linalg.Vector, p, n, branch int, v float64) {
+func stampVoltageBranch(jac linalg.Stamper, res linalg.Vector, x linalg.Vector, p, n, branch int, v float64) {
 	ib := x[branch]
 	addJac(jac, p, branch, 1)
 	addJac(jac, n, branch, -1)
@@ -205,8 +205,13 @@ func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
 	res.Time = append(res.Time, 0)
 	res.X = append(res.X, x.Clone())
 
-	jac := linalg.NewMatrix(n, n)
-	rhs := linalg.NewVector(n)
+	// The transient Newton loop shares the DC scratch solver: capacitor
+	// companion stamps may add matrix positions the DC assembly never
+	// touched, which the sparse backend absorbs by recompiling its
+	// structure once, then reuses across all remaining time points.
+	w := c.dcScratch(n)
+	defer func() { c.flushSolverStats(w.solver.Stats(), &w.prev) }()
+	sol, rhs, dx := w.solver, w.res, w.dx
 	ctx := &stampCtx{srcScale: 1, gmin: 1e-12}
 	nodes := c.NumNodes()
 
@@ -217,24 +222,25 @@ func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
 
 		converged := false
 		for iter := 0; iter < opts.MaxNewton; iter++ {
-			jac.Zero()
+			sol.Reset()
 			rhs.Zero()
 			for _, d := range c.devices {
 				if td, ok := d.(tranDevice); ok {
-					td.StampTran(jac, rhs, x, xPrev, opts.Step, tNow, opts.Theta)
+					td.StampTran(sol, rhs, x, xPrev, opts.Step, tNow, opts.Theta)
 				} else {
-					d.StampDC(jac, rhs, x, ctx)
+					d.StampDC(sol, rhs, x, ctx)
 				}
 			}
 			for i := 0; i < nodes; i++ {
-				jac.Addto(i, i, ctx.gmin)
+				sol.Addto(i, i, ctx.gmin)
 				rhs[i] += ctx.gmin * x[i]
 			}
-			lu, err := linalg.NewLU(jac)
-			if err != nil {
-				return nil, fmt.Errorf("spice: transient Jacobian singular at t=%g: %w", tNow, err)
+			if err := sol.Factor(); err != nil {
+				return nil, fmt.Errorf("spice: transient Jacobian singular at t=%g: %w", tNow, c.describeSolverErr(err))
 			}
-			dx := lu.Solve(rhs)
+			if err := sol.SolveInto(dx, rhs); err != nil {
+				return nil, fmt.Errorf("spice: transient solve at t=%g: %w", tNow, err)
+			}
 			maxdv := 0.0
 			for i := 0; i < nodes; i++ {
 				if a := math.Abs(dx[i]); a > maxdv {
