@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-check benchsmoke check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke profile check serve
 
 all: check
 
@@ -32,6 +32,21 @@ bench-check: build
 # full suite.
 benchsmoke: build
 	$(GO) test -run xxx -bench Table1 -benchtime 1x . >/dev/null
+
+# CPU/heap profile of the hottest benchmark (the full Table-1 folded-
+# cascode optimization) and a flat top-15 of each. The raw profiles stay
+# in profile.out/ for interactive digging:
+#   go tool pprof -http=:8000 profile.out/cpu.pprof
+profile: build
+	mkdir -p profile.out
+	$(GO) test -run xxx -bench Table1 -benchtime 1x \
+		-cpuprofile profile.out/cpu.pprof -memprofile profile.out/mem.pprof \
+		-o profile.out/specwise.test .
+	@echo "== CPU, flat top 15 =="
+	$(GO) tool pprof -top -nodecount 15 profile.out/specwise.test profile.out/cpu.pprof
+	@echo "== Allocated space, flat top 15 =="
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space \
+		profile.out/specwise.test profile.out/mem.pprof
 
 build:
 	$(GO) build ./...

@@ -39,9 +39,18 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "optimizer workers (0 = half the CPUs)")
 	queue := flag.Int("queue", 64, "job queue capacity")
+	verifyWorkers := flag.Int("verify-workers", 0,
+		"default Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"default per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	flag.Parse()
 
-	manager := jobs.New(jobs.Config{Workers: *workers, QueueSize: *queue})
+	manager := jobs.New(jobs.Config{
+		Workers:       *workers,
+		QueueSize:     *queue,
+		VerifyWorkers: *verifyWorkers,
+		SweepWorkers:  *sweepWorkers,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           server.New(manager),

@@ -91,3 +91,18 @@ func TestParallelGradientDeterminism(t *testing.T) {
 	par.WC.GradWorkers = 4
 	checkIdentical(t, "ota grad serial/parallel", OTA(), serial, par)
 }
+
+// TestWorkerKnobDeterminism checks the two remaining worker knobs the
+// same way: the Monte-Carlo verification pool and the per-frequency
+// AC-sweep fan-out must not change a single bit of the optimizer's
+// output — scheduling order never leaks because every sample and every
+// frequency point writes its result by index.
+func TestWorkerKnobDeterminism(t *testing.T) {
+	serial := determinismOpts
+	serial.VerifyWorkers = 1
+	serial.SweepWorkers = 1
+	par := determinismOpts
+	par.VerifyWorkers = 5
+	par.SweepWorkers = 4
+	checkIdentical(t, "ota verify/sweep workers", OTA(), serial, par)
+}

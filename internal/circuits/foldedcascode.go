@@ -207,5 +207,6 @@ func FoldedCascodeProblem() *core.Problem {
 		Eval:            eval,
 		Constraints:     constraints,
 		SimStats:        h.counters,
+		SimConfigure:    h.configure,
 	}
 }

@@ -157,5 +157,6 @@ func MillerProblem() *core.Problem {
 		Eval:            eval,
 		Constraints:     constraints,
 		SimStats:        h.counters,
+		SimConfigure:    h.configure,
 	}
 }

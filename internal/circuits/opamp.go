@@ -47,16 +47,42 @@ type simHarness struct {
 	stats  spice.DCStats
 	solver spice.SolverStats
 	refOP  linalg.Vector // nil when the reference solve failed
+	// symCache shares the reference circuit's symbolic LU factorizations
+	// (DC Jacobian and AC system patterns) with every evaluation
+	// circuit. It is seeded single-threaded here and frozen before any
+	// evaluation runs, so its contents — and the adopted pivot orders —
+	// are a fixed function of the problem, independent of evaluation
+	// order and concurrency.
+	symCache *linalg.SymbolicCache
+	// sim holds behaviour-preserving simulator tuning (worker fan-out),
+	// set once through configure before evaluations start.
+	sim problem.SimOptions
 }
 
 // newSimHarness solves tb0 cold and records its operating point as the
 // warm-start reference. tb0 must share the MNA layout of every bench the
-// problem will build (same topology, any parameter values).
+// problem will build (same topology, any parameter values). The solve
+// doubles as the symbolic-cache seeding pass: tb0's DC factorization
+// stores the Jacobian pattern, and one AC solve in the evaluation flow's
+// stamp configuration stores the (G + jωC) pattern.
 func newSimHarness(tb0 *testbench) *simHarness {
-	h := &simHarness{}
+	h := &simHarness{symCache: linalg.NewSymbolicCache()}
+	tb0.ckt.Opts.SymCache = h.symCache
+	// Count the seeding solves in the shared counters: they carry the
+	// problem's only symbolic factorizations once the cache is frozen.
+	tb0.ckt.SolverStats = &h.solver
 	if dc, err := tb0.ckt.DC(spice.DCOptions{}); err == nil {
 		h.refOP = dc.X
+		// Mirror evaluate's AC drive configuration so the seeded pattern
+		// matches the one every evaluation assembles, then restore.
+		driveAC, fbMode, fbVal := tb0.drive.AC, tb0.fb.ACMode, tb0.fb.ACValue
+		tb0.drive.AC = 1
+		tb0.fb.ACMode = spice.VCVSACFixed
+		tb0.fb.ACValue = 0
+		_, _ = tb0.ckt.AC(dc, 2*math.Pi)
+		tb0.drive.AC, tb0.fb.ACMode, tb0.fb.ACValue = driveAC, fbMode, fbVal
 	}
+	h.symCache.Freeze()
 	return h
 }
 
@@ -65,8 +91,14 @@ func newSimHarness(tb0 *testbench) *simHarness {
 func (h *simHarness) arm(tb *testbench) *testbench {
 	tb.dcOpts = spice.DCOptions{InitialX: h.refOP, Stats: &h.stats}
 	tb.ckt.SolverStats = &h.solver
+	tb.ckt.Opts.SweepWorkers = h.sim.SweepWorkers
+	tb.ckt.Opts.SymCache = h.symCache
 	return tb
 }
+
+// configure implements problem.Problem.SimConfigure. It must be called
+// before evaluations start (the optimizer calls it at construction).
+func (h *simHarness) configure(opts problem.SimOptions) { h.sim = opts }
 
 // counters snapshots the harness effort counters in problem-layer terms,
 // implementing problem.Problem.SimStats.
@@ -82,6 +114,9 @@ func (h *simHarness) counters() problem.SimCounters {
 		SymbolicFacts:  h.solver.Symbolic.Load(),
 		MatrixNNZ:      h.solver.MatrixNNZ.Load(),
 		FactorNNZ:      h.solver.FactorNNZ.Load(),
+		DCSolveNanos:   h.solver.DCNanos.Load(),
+		ACSolveNanos:   h.solver.ACNanos.Load(),
+		TranSolveNanos: h.solver.TranNanos.Load(),
 	}
 }
 

@@ -159,5 +159,6 @@ func OTAProblem() *core.Problem {
 		Eval:            eval,
 		Constraints:     constraints,
 		SimStats:        h.counters,
+		SimConfigure:    h.configure,
 	}
 }

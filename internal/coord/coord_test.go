@@ -295,3 +295,58 @@ func TestMaxMinBetaVsYieldSearch(t *testing.T) {
 		t.Errorf("yield search (%v) must not lose to beta centering (%v)", yield.Yield, beta.Yield)
 	}
 }
+
+// TestTieBreakExactMaximizer cross-checks the subgradient maximizer
+// against a fine grid scan of the concave mean-min-margin objective on
+// random instances: the returned α must be at least as good as every
+// grid point (up to float tolerance).
+func TestTieBreakExactMaximizer(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		nM, n := 3, 40
+		cd := linmodel.CoordinateData{
+			C:     make([][]float64, nM),
+			G:     make([]float64, nM),
+			Scale: make([]float64, nM),
+		}
+		for m := 0; m < nM; m++ {
+			cd.C[m] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				cd.C[m][j] = r.NormFloat64()
+			}
+			cd.G[m] = r.NormFloat64()
+			cd.Scale[m] = 0.1 + r.Float64()
+		}
+		lo, hi := -2.0, 3.0
+		alpha := tieBreakAlpha(cd, lo, hi, n)
+		obj := func(a float64) float64 {
+			total := 0.0
+			for j := 0; j < n; j++ {
+				minv := math.Inf(1)
+				for m := 0; m < nM; m++ {
+					if v := (cd.C[m][j] + cd.G[m]*a) * cd.Scale[m]; v < minv {
+						minv = v
+					}
+				}
+				total += minv
+			}
+			return total / float64(n)
+		}
+		got := obj(alpha)
+		if alpha == 0 {
+			// A zero return means no α beats the stay-put objective.
+			got = obj(0)
+		}
+		for k := 0; k <= 2000; k++ {
+			a := lo + (hi-lo)*float64(k)/2000
+			if obj(a) > got+1e-9*(1+math.Abs(got)) {
+				t.Logf("seed %d: alpha=%v obj=%v beaten at a=%v obj=%v", seed, alpha, got, a, obj(a))
+				return false
+			}
+		}
+		return math.Abs(alpha) <= math.Max(math.Abs(lo), math.Abs(hi))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -30,6 +30,9 @@ type (
 	// SimCounters reports simulator-side effort (DC warm starts,
 	// homotopy fallbacks, Newton iterations).
 	SimCounters = problem.SimCounters
+	// SimOptions is behaviour-preserving simulator tuning (worker
+	// fan-out) applied through Problem.SimConfigure.
+	SimOptions = problem.SimOptions
 )
 
 // Re-exported spec-kind constants.

@@ -16,7 +16,7 @@ func TestVerifyMCContextCancel(t *testing.T) {
 	// Pre-cancelled context: the pool must not run a single sample.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := VerifyMCContext(ctx, p, p.InitialDesign(), thetas, 100, 1); !errors.Is(err, context.Canceled) {
+	if _, err := VerifyMCContext(ctx, p, p.InitialDesign(), thetas, 100, 1, 0); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 
@@ -33,7 +33,7 @@ func TestVerifyMCContextCancel(t *testing.T) {
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := VerifyMCContext(ctx2, &slow, p.InitialDesign(), thetas, 100000, 1)
+		_, err := VerifyMCContext(ctx2, &slow, p.InitialDesign(), thetas, 100000, 1, 0)
 		done <- err
 	}()
 	<-started

@@ -58,6 +58,15 @@ type Options struct {
 	// EvalCacheSize caps the number of memoized evaluation points.
 	// 0 selects evalcache.DefaultMaxEntries.
 	EvalCacheSize int
+	// VerifyWorkers bounds the Monte-Carlo verification worker pool.
+	// 0 means GOMAXPROCS. Verification results are bit-identical for
+	// every setting.
+	VerifyWorkers int
+	// SweepWorkers bounds the per-frequency fan-out inside each AC
+	// sweep when the problem's simulator supports it (see
+	// problem.SimOptions). 0 means GOMAXPROCS; results are
+	// bit-identical for every setting.
+	SweepWorkers int
 	// WC tunes the worst-case distance searches.
 	WC wcd.Options
 	// Coord tunes the coordinate search.
@@ -182,6 +191,9 @@ func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
 	}
 	if opts.NoConstraints {
 		o.p.Constraints = nil
+	}
+	if problem.SimConfigure != nil {
+		problem.SimConfigure(SimOptions{SweepWorkers: opts.SweepWorkers})
 	}
 	if problem.SimStats != nil {
 		o.sim0 = problem.SimStats()
@@ -353,6 +365,9 @@ func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
 			SymbolicFacts:  now.SymbolicFacts - o.sim0.SymbolicFacts,
 			MatrixNNZ:      now.MatrixNNZ,
 			FactorNNZ:      now.FactorNNZ,
+			DCSolveNanos:   now.DCSolveNanos - o.sim0.DCSolveNanos,
+			ACSolveNanos:   now.ACSolveNanos - o.sim0.ACSolveNanos,
+			TranSolveNanos: now.TranSolveNanos - o.sim0.TranSolveNanos,
 		}
 	}
 	return res, nil
@@ -472,7 +487,7 @@ func (o *Optimizer) analyze(ctx context.Context, d []float64, seed uint64) (*Ite
 
 	iter.MCYield = -1
 	if !opts.SkipVerify {
-		mc, err := VerifyMCContext(ctx, p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef)
+		mc, err := VerifyMCContext(ctx, p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef, opts.VerifyWorkers)
 		if err != nil {
 			return nil, nil, nil, err
 		}

@@ -27,9 +27,9 @@ type MCResult struct {
 }
 
 // VerifyMC runs the Monte-Carlo verification without external
-// cancellation; see VerifyMCContext.
+// cancellation and with the default worker count; see VerifyMCContext.
 func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (*MCResult, error) {
-	return VerifyMCContext(context.Background(), p, d, thetas, n, seed)
+	return VerifyMCContext(context.Background(), p, d, thetas, n, seed, 0)
 }
 
 // VerifyMCContext runs the simulation-based Monte-Carlo analysis of
@@ -40,12 +40,13 @@ func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (
 // Samples are evaluated on a worker pool (the paper ran its verification
 // on a cluster of five machines; here the workers are goroutines). The
 // sample stream is drawn up front, so the result is bit-identical for any
-// worker count.
+// worker count. workers bounds the pool; 0 or negative means GOMAXPROCS
+// (plumbed from Options.VerifyWorkers / the service config).
 //
 // Cancelling ctx stops the pool between samples: the feeder quits, every
 // worker drains and exits, and the call returns ctx.Err() — no goroutine
 // outlives the call, even on early cancellation.
-func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (*MCResult, error) {
+func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]float64, n int, seed uint64, workers int) (*MCResult, error) {
 	unique, specToUnique := wcd.DistinctThetas(thetas)
 	r := rng.New(seed)
 	res := &MCResult{
@@ -62,9 +63,8 @@ func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]fl
 	// vals[j][u][i]: sample j, corner u, spec i.
 	vals := make([][][]float64, n)
 	errs := make([]error, n)
-	workers := runtime.NumCPU()
-	if workers > 8 {
-		workers = 8
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
 		workers = n

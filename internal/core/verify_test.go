@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestVerifyMCWorkerDeterminism pins the verification pool's contract:
+// the sample stream is drawn up front and results land by index, so the
+// estimate, per-spec counts and moments are bit-identical for every
+// worker count.
+func TestVerifyMCWorkerDeterminism(t *testing.T) {
+	p := analyticProblem()
+	thetas := [][]float64{{0}, {0}}
+	run := func(workers int) *MCResult {
+		mc, err := VerifyMCContext(context.Background(), p, p.InitialDesign(), thetas, 400, 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mc
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 5, 16} {
+		got := run(workers)
+		if got.Estimate != ref.Estimate {
+			t.Fatalf("workers=%d: estimate %+v, want %+v", workers, got.Estimate, ref.Estimate)
+		}
+		if got.Evals != ref.Evals {
+			t.Fatalf("workers=%d: evals %d, want %d", workers, got.Evals, ref.Evals)
+		}
+		for i := range ref.BadPerSpec {
+			if got.BadPerSpec[i] != ref.BadPerSpec[i] {
+				t.Fatalf("workers=%d: BadPerSpec[%d] = %d, want %d", workers, i, got.BadPerSpec[i], ref.BadPerSpec[i])
+			}
+			gm, rm := got.Moments[i], ref.Moments[i]
+			if math.Float64bits(gm.Mean()) != math.Float64bits(rm.Mean()) ||
+				math.Float64bits(gm.Sigma()) != math.Float64bits(rm.Sigma()) {
+				t.Fatalf("workers=%d: moments[%d] = (%v, %v), want (%v, %v)",
+					workers, i, gm.Mean(), gm.Sigma(), rm.Mean(), rm.Sigma())
+			}
+		}
+	}
+}

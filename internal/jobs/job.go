@@ -47,6 +47,13 @@ type RunOptions struct {
 	LHS                bool   `json:"lhs,omitempty"`
 	QuadraticSpecs     bool   `json:"quadraticSpecs,omitempty"`
 	RefineThetaPasses  int    `json:"refineThetaPasses,omitempty"`
+	// VerifyWorkers and SweepWorkers bound the Monte-Carlo verification
+	// pool and the per-frequency AC-sweep fan-out. Both are
+	// behaviour-preserving (results are bit-identical for any setting),
+	// so requests that omit them hash identically to pre-knob requests
+	// and keep hitting the result cache.
+	VerifyWorkers int `json:"verifyWorkers,omitempty"`
+	SweepWorkers  int `json:"sweepWorkers,omitempty"`
 }
 
 // Core converts the wire options into optimizer options.
@@ -63,6 +70,8 @@ func (o RunOptions) Core() core.Options {
 		LHS:                o.LHS,
 		QuadraticSpecs:     o.QuadraticSpecs,
 		RefineThetaPasses:  o.RefineThetaPasses,
+		VerifyWorkers:      o.VerifyWorkers,
+		SweepWorkers:       o.SweepWorkers,
 	}
 }
 

@@ -39,6 +39,14 @@ type Config struct {
 	// hash-identical resubmissions; the least recently used entry is
 	// evicted past the cap (default 128, negative disables caching).
 	CacheSize int
+	// VerifyWorkers is the default Monte-Carlo verification pool size for
+	// jobs that do not set options.verifyWorkers (0 means GOMAXPROCS).
+	// Results are bit-identical for every setting.
+	VerifyWorkers int
+	// SweepWorkers is the default per-frequency AC-sweep fan-out for jobs
+	// that do not set options.sweepWorkers (0 means GOMAXPROCS). Results
+	// are bit-identical for every setting.
+	SweepWorkers int
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
@@ -362,7 +370,11 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		mc, err := core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed)
+		workers := job.req.Options.VerifyWorkers
+		if workers <= 0 {
+			workers = m.cfg.VerifyWorkers
+		}
+		mc, err := core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -370,6 +382,12 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
 
 	default: // KindOptimize
 		opts := job.req.Options.Core()
+		if opts.VerifyWorkers <= 0 {
+			opts.VerifyWorkers = m.cfg.VerifyWorkers
+		}
+		if opts.SweepWorkers <= 0 {
+			opts.SweepWorkers = m.cfg.SweepWorkers
+		}
 		opts.Progress = job.addProgress
 		opt, err := core.NewOptimizer(job.problem, opts)
 		if err != nil {

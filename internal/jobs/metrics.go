@@ -47,6 +47,9 @@ type Metrics struct {
 	solverSymbolic       atomic.Int64
 	solverMatrixNNZ      atomic.Int64
 	solverFactorNNZ      atomic.Int64
+	solverDCNanos        atomic.Int64 // solver wall time by analysis type
+	solverACNanos        atomic.Int64
+	solverTranNanos      atomic.Int64
 }
 
 // noteRun folds one finished optimization's evaluation-reuse counters
@@ -60,6 +63,9 @@ func (m *Metrics) noteRun(res *core.Result) {
 	m.solverFactorizations.Add(res.Sim.Factorizations)
 	m.solverSolves.Add(res.Sim.Solves)
 	m.solverSymbolic.Add(res.Sim.SymbolicFacts)
+	m.solverDCNanos.Add(res.Sim.DCSolveNanos)
+	m.solverACNanos.Add(res.Sim.ACSolveNanos)
+	m.solverTranNanos.Add(res.Sim.TranSolveNanos)
 	if res.Sim.MatrixNNZ != 0 {
 		m.solverMatrixNNZ.Store(res.Sim.MatrixNNZ)
 	}
@@ -119,6 +125,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_solver_symbolic_factorizations_total %d\n", m.solverSymbolic.Load())
 	fmt.Fprintf(w, "specwised_solver_matrix_nnz %d\n", m.solverMatrixNNZ.Load())
 	fmt.Fprintf(w, "specwised_solver_factor_nnz %d\n", m.solverFactorNNZ.Load())
+	fmt.Fprintf(w, "specwised_solver_dc_seconds_total %.6f\n",
+		time.Duration(m.solverDCNanos.Load()).Seconds())
+	fmt.Fprintf(w, "specwised_solver_ac_seconds_total %.6f\n",
+		time.Duration(m.solverACNanos.Load()).Seconds())
+	fmt.Fprintf(w, "specwised_solver_tran_seconds_total %.6f\n",
+		time.Duration(m.solverTranNanos.Load()).Seconds())
 	fmt.Fprintf(w, "specwised_workers %d\n", m.workers)
 	fmt.Fprintf(w, "specwised_worker_busy_seconds_total %.6f\n",
 		time.Duration(m.busyNanos.Load()).Seconds())

@@ -486,3 +486,182 @@ func TestMinDegreeOrderProperties(t *testing.T) {
 		}
 	}
 }
+
+// TestSparseComplexWorkspace checks the symbolic/numeric split's sharing
+// contract: numeric workspaces cloned from one factored solver must
+// reproduce the parent's refactor-and-solve results bit-for-bit, for any
+// distribution of points over workspaces, including concurrent use.
+func TestSparseComplexWorkspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 13
+	type entry struct{ i, j int }
+	var pat []entry
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.3 || j == (i+1)%n || i == j {
+				pat = append(pat, entry{i, j})
+			}
+		}
+	}
+	sp := NewSparseComplexSolver(n)
+	stamp := func(scale float64) {
+		sp.Reset()
+		for _, e := range pat {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			if e.i == e.j || e.j == (e.i+1)%n {
+				v += complex(3*scale, 0)
+			}
+			sp.Addto(e.i, e.j, v)
+		}
+	}
+	stamp(1)
+	base := sp.CaptureValues(nil)
+	stamp(0.5)
+	slope := sp.CaptureValues(nil)
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	ts := []float64{0, 0.25, 1, 3, 10, 100}
+	// Reference: serial refactor-and-solve through the parent solver.
+	ref := make([][]complex128, len(ts))
+	for p, tv := range ts {
+		if !sp.LoadValues(base, slope, tv) {
+			t.Fatal("LoadValues rejected captured snapshot")
+		}
+		if err := sp.Factor(); err != nil {
+			t.Fatalf("t=%g: %v", tv, err)
+		}
+		ref[p] = make([]complex128, n)
+		if err := sp.SolveInto(ref[p], b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workspaces: same points fanned over three concurrent clones.
+	if !sp.LoadValues(base, slope, ts[0]) {
+		t.Fatal("LoadValues rejected captured snapshot")
+	}
+	if err := sp.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	ws0, err := sp.NumericWorkspace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := []*SparseComplexWorkspace{ws0, ws0.Clone(), ws0.Clone()}
+	got := make([][]complex128, len(ts))
+	errs := make([]error, len(workers))
+	done := make(chan int, len(workers))
+	for w, ws := range workers {
+		go func(w int, ws *SparseComplexWorkspace) {
+			defer func() { done <- w }()
+			for p := w; p < len(ts); p += len(workers) {
+				if !ws.LoadValues(base, slope, ts[p]) {
+					errs[w] = errors.New("workspace LoadValues rejected snapshot")
+					return
+				}
+				if err := ws.Factor(); err != nil {
+					errs[w] = err
+					return
+				}
+				x := make([]complex128, n)
+				if err := ws.SolveInto(x, b); err != nil {
+					errs[w] = err
+					return
+				}
+				got[p] = x
+			}
+		}(w, ws)
+	}
+	for range workers {
+		<-done
+	}
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	for p := range ts {
+		for i := range ref[p] {
+			if math.Float64bits(real(ref[p][i])) != math.Float64bits(real(got[p][i])) ||
+				math.Float64bits(imag(ref[p][i])) != math.Float64bits(imag(got[p][i])) {
+				t.Fatalf("t=%g: workspace solve differs at %d: %v vs %v", ts[p], i, ref[p][i], got[p][i])
+			}
+		}
+	}
+	// Counters flow back through Absorb.
+	before := sp.Stats()
+	var fact, solv int64
+	for _, ws := range workers {
+		st := ws.Stats()
+		fact += st.Factorizations
+		solv += st.Solves
+		sp.Absorb(st)
+	}
+	if fact != int64(len(ts)) || solv != int64(len(ts)) {
+		t.Fatalf("workspace counters = %d/%d, want %d/%d", fact, solv, len(ts), len(ts))
+	}
+	after := sp.Stats()
+	if after.Factorizations != before.Factorizations+fact || after.Solves != before.Solves+solv {
+		t.Fatalf("Absorb did not fold counters: %+v -> %+v", before, after)
+	}
+}
+
+// TestSparseComplexWorkspaceRepivot drives one workspace point into the
+// repivot fallback and checks it solves correctly without corrupting the
+// shared symbolic used by other points.
+func TestSparseComplexWorkspaceRepivot(t *testing.T) {
+	n := 2
+	sp := NewSparseComplexSolver(n)
+	sp.Addto(0, 0, 10)
+	sp.Addto(0, 1, 1)
+	sp.Addto(1, 0, 1)
+	sp.Addto(1, 1, 10)
+	if err := sp.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	base := sp.CaptureValues(nil)
+	ws, err := sp.NumericWorkspace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]complex128, len(base))
+	// Degenerate values: diagonal collapses, forcing the private full
+	// factorization fallback.
+	degen := []complex128{1e-12, 1, 1, 1e-12}
+	if len(base) != 4 {
+		t.Fatalf("unexpected nnz %d", len(base))
+	}
+	if !ws.LoadValues(degen, zero, 0) {
+		t.Fatal("LoadValues rejected")
+	}
+	if err := ws.Factor(); err != nil {
+		t.Fatalf("repivot fallback failed: %v", err)
+	}
+	x := make([]complex128, n)
+	if err := ws.SolveInto(x, []complex128{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if sqmag(x[0]-2) > 1e-18 || sqmag(x[1]-1) > 1e-18 {
+		t.Fatalf("x = %v, want ~[2 1]", x)
+	}
+	if ws.Stats().Symbolic != 1 {
+		t.Fatalf("expected private symbolic fallback, got %+v", ws.Stats())
+	}
+	// The same workspace returns to the shared fast path on good values.
+	if !ws.LoadValues(base, zero, 0) {
+		t.Fatal("LoadValues rejected")
+	}
+	if err := ws.Factor(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.SolveInto(x, []complex128{11, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if sqmag(x[0]-1) > 1e-18 || sqmag(x[1]-1) > 1e-18 {
+		t.Fatalf("x = %v, want ~[1 1]", x)
+	}
+	if ws.Stats().Symbolic != 1 {
+		t.Fatalf("good values should not refactor symbolically: %+v", ws.Stats())
+	}
+}

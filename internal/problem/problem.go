@@ -106,6 +106,14 @@ type SimCounters struct {
 	// FactorNNZ is the stored-entry count of its L+U factors; the excess
 	// over MatrixNNZ is the factorization fill-in.
 	FactorNNZ int64 `json:"factor_nnz"`
+	// DCSolveNanos, ACSolveNanos and TranSolveNanos split solver wall
+	// time (assembly + factorization + solves) by analysis type, so the
+	// simulator's cost structure is visible without a profiler.
+	DCSolveNanos int64 `json:"dc_solve_nanos"`
+	// ACSolveNanos: see DCSolveNanos.
+	ACSolveNanos int64 `json:"ac_solve_nanos"`
+	// TranSolveNanos: see DCSolveNanos.
+	TranSolveNanos int64 `json:"tran_solve_nanos"`
 }
 
 // Add accumulates o into c: counters add, the backend name and the NNZ
@@ -118,6 +126,9 @@ func (c *SimCounters) Add(o SimCounters) {
 	c.Factorizations += o.Factorizations
 	c.Solves += o.Solves
 	c.SymbolicFacts += o.SymbolicFacts
+	c.DCSolveNanos += o.DCSolveNanos
+	c.ACSolveNanos += o.ACSolveNanos
+	c.TranSolveNanos += o.TranSolveNanos
 	if o.Solver != "" {
 		c.Solver = o.Solver
 	}
@@ -143,6 +154,19 @@ type Problem struct {
 	// counters (DC warm starts, fallbacks, Newton iterations) so the
 	// optimizer can report them alongside the simulation counts.
 	SimStats func() SimCounters
+	// SimConfigure, when non-nil, applies runtime simulator tuning (e.g.
+	// the AC-sweep worker fan-out) before a run. Implementations must
+	// keep evaluation results bit-identical across settings.
+	SimConfigure func(SimOptions)
+}
+
+// SimOptions is runtime simulator tuning a problem may accept through
+// Problem.SimConfigure. Every option must be behaviour-preserving:
+// changing it may alter speed but never results.
+type SimOptions struct {
+	// SweepWorkers bounds the per-frequency worker fan-out inside each
+	// AC sweep. 0 means the simulator default (GOMAXPROCS).
+	SweepWorkers int
 }
 
 // NumSpecs returns the number of performance specifications.

@@ -76,6 +76,10 @@ type Perf struct {
 	SymbolicFacts  int64  `json:"symbolicFactorizations"`
 	MatrixNNZ      int64  `json:"matrixNNZ,omitempty"`
 	FactorNNZ      int64  `json:"factorNNZ,omitempty"`
+	// Solver wall time split by analysis type, in nanoseconds.
+	DCSolveNanos   int64 `json:"dcSolveNanos,omitempty"`
+	ACSolveNanos   int64 `json:"acSolveNanos,omitempty"`
+	TranSolveNanos int64 `json:"tranSolveNanos,omitempty"`
 }
 
 // Result is the full JSON-serializable record of an optimization run.
@@ -122,6 +126,9 @@ func JSONResult(res *core.Result) *Result {
 			SymbolicFacts:         res.Sim.SymbolicFacts,
 			MatrixNNZ:             res.Sim.MatrixNNZ,
 			FactorNNZ:             res.Sim.FactorNNZ,
+			DCSolveNanos:          res.Sim.DCSolveNanos,
+			ACSolveNanos:          res.Sim.ACSolveNanos,
+			TranSolveNanos:        res.Sim.TranSolveNanos,
 		},
 	}
 	for _, s := range p.Specs {

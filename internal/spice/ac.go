@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
+	"time"
+
+	"specwise/internal/linalg"
 )
 
 // ACResult is the small-signal solution at one angular frequency.
@@ -26,6 +30,10 @@ func (c *Circuit) AC(dc *DCResult, omega float64) (*ACResult, error) {
 	c.finalize()
 	n := c.NumVars()
 	w := c.acScratch(n)
+	if st := c.SolverStats; st != nil {
+		start := time.Now()
+		defer func() { st.ACNanos.Add(time.Since(start).Nanoseconds()) }()
+	}
 	defer func() { c.flushSolverStats(w.acSolver.Stats(), &w.acPrev) }()
 	c.acAssemble(w, dc, omega)
 	sol := w.acSolver
@@ -68,10 +76,23 @@ type affineCSolver interface {
 	LoadValues(base, slope []complex128, t float64) bool
 }
 
+// workspaceCSolver is the further capability the fanned-out sweep
+// needs: per-goroutine numeric workspaces sharing the solver's symbolic
+// factorization, plus a way to fold their effort counters back.
+type workspaceCSolver interface {
+	affineCSolver
+	Factor() error
+	NumericWorkspace() (*linalg.SparseComplexWorkspace, error)
+	Absorb(linalg.SolverStats)
+}
+
 // Bode is a sampled frequency response H(f) of one observed node.
 type Bode struct {
 	Freq []float64    // Hz, ascending
 	H    []complex128 // response samples
+
+	magDB    []float64 // lazy MagDB cache
+	phaseDeg []float64 // lazy unwrapped-phase cache
 }
 
 // ACSweep runs AC analyses over logarithmically spaced frequencies from
@@ -88,6 +109,10 @@ func (c *Circuit) ACSweep(dc *DCResult, node int, fStart, fStop float64, pointsP
 	c.finalize()
 	n := c.NumVars()
 	w := c.acScratch(n)
+	if st := c.SolverStats; st != nil {
+		start := time.Now()
+		defer func() { st.ACNanos.Add(time.Since(start).Nanoseconds()) }()
+	}
 	defer func() { c.flushSolverStats(w.acSolver.Stats(), &w.acPrev) }()
 	sol := w.acSolver
 
@@ -112,6 +137,18 @@ func (c *Circuit) ACSweep(dc *DCResult, node int, fStart, fStop float64, pointsP
 	if len(w.acX) != n {
 		w.acX = make([]complex128, n)
 	}
+	if affOK {
+		// Fast path: every point is LoadValues → refactor → solve over
+		// one shared symbolic factorization, fanned over numeric
+		// workspaces. Falls through to the serial loop when the backend
+		// lacks workspace support (dense).
+		if wsol, ok := sol.(workspaceCSolver); ok {
+			done, err := c.acSweepShared(w, wsol, b, node, fStart, decades, npts)
+			if done {
+				return b, err
+			}
+		}
+	}
 	for i := 0; i < npts; i++ {
 		f := fStart * math.Pow(10, decades*float64(i)/float64(npts-1))
 		omega := 2 * math.Pi * f
@@ -130,25 +167,144 @@ func (c *Circuit) ACSweep(dc *DCResult, node int, fStart, fStop float64, pointsP
 	return b, nil
 }
 
+// acSweepShared runs the sweep's frequency points through per-goroutine
+// numeric workspaces over one shared symbolic factorization. Every point
+// executes the identical LoadValues → refactor → solve sequence in its
+// own workspace and writes its result by index, so the Bode response is
+// bit-identical for any worker count (including the inline 1-worker
+// path). done reports whether the sweep was handled here; when false the
+// caller's serial loop takes over from scratch.
+func (c *Circuit) acSweepShared(w *solverScratch, sol workspaceCSolver, b *Bode, node int, fStart, decades float64, npts int) (done bool, err error) {
+	// Factor at the first point to establish current factors for the
+	// workspaces to share.
+	omega0 := 2 * math.Pi * fStart
+	if !sol.LoadValues(w.affBase, w.affSlope, omega0) {
+		return false, nil
+	}
+	if err := sol.Factor(); err != nil {
+		return true, fmt.Errorf("spice: AC solve at ω=%g: %w", omega0, c.describeSolverErr(err))
+	}
+	ws, err := sol.NumericWorkspace()
+	if err != nil {
+		return false, nil
+	}
+	sweepPoint := func(ws *linalg.SparseComplexWorkspace, x []complex128, i int) error {
+		f := fStart * math.Pow(10, decades*float64(i)/float64(npts-1))
+		omega := 2 * math.Pi * f
+		if !ws.LoadValues(w.affBase, w.affSlope, omega) {
+			return fmt.Errorf("spice: AC sweep workspace rejected values at ω=%g", omega)
+		}
+		if err := ws.Factor(); err != nil {
+			return fmt.Errorf("spice: AC solve at ω=%g: %w", omega, c.describeSolverErr(err))
+		}
+		if err := ws.SolveInto(x, w.acB); err != nil {
+			return fmt.Errorf("spice: AC solve at ω=%g: %w", omega, err)
+		}
+		b.Freq[i] = f
+		b.H[i] = cvolt(x, node)
+		return nil
+	}
+	workers := c.sweepWorkers(npts)
+	if workers == 1 {
+		for i := 0; i < npts; i++ {
+			if err := sweepPoint(ws, w.acX, i); err != nil {
+				sol.Absorb(ws.Stats())
+				return true, err
+			}
+		}
+		sol.Absorb(ws.Stats())
+		return true, nil
+	}
+	pool := make([]*linalg.SparseComplexWorkspace, workers)
+	pool[0] = ws
+	for k := 1; k < workers; k++ {
+		pool[k] = ws.Clone()
+	}
+	// Contiguous chunks: worker k owns points [k·chunk, (k+1)·chunk).
+	chunk := (npts + workers - 1) / workers
+	errAt := make([]int, workers) // first failing point per worker, or npts
+	errOf := make([]error, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := k * chunk
+		hi := lo + chunk
+		if hi > npts {
+			hi = npts
+		}
+		if lo >= hi {
+			errAt[k] = npts
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			x := make([]complex128, c.NumVars())
+			errAt[k] = npts
+			for i := lo; i < hi; i++ {
+				if err := sweepPoint(pool[k], x, i); err != nil {
+					errAt[k], errOf[k] = i, err
+					return
+				}
+			}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	for k := 0; k < workers; k++ {
+		sol.Absorb(pool[k].Stats())
+	}
+	// Report the failure at the lowest point index, matching what the
+	// serial sweep would have surfaced first.
+	first, firstAt := error(nil), npts
+	for k := 0; k < workers; k++ {
+		if errOf[k] != nil && errAt[k] < firstAt {
+			first, firstAt = errOf[k], errAt[k]
+		}
+	}
+	return true, first
+}
+
+// mags returns the lazily built magnitude cache.
+func (b *Bode) mags() []float64 {
+	if b.magDB == nil {
+		b.magDB = make([]float64, len(b.H))
+		for i, h := range b.H {
+			b.magDB[i] = 20 * math.Log10(cmplx.Abs(h))
+		}
+	}
+	return b.magDB
+}
+
 // MagDB returns the magnitude in dB at sample i.
-func (b *Bode) MagDB(i int) float64 { return 20 * math.Log10(cmplx.Abs(b.H[i])) }
+func (b *Bode) MagDB(i int) float64 { return b.mags()[i] }
+
+// phases returns the lazily built unwrapped-phase cache: one pass
+// unwraps the whole response, so callers like UnityCrossing that probe
+// many samples stay O(n) instead of re-unwrapping from sample 0 per
+// probe.
+func (b *Bode) phases() []float64 {
+	if b.phaseDeg == nil && len(b.H) > 0 {
+		ph := make([]float64, len(b.H))
+		phase := cmplx.Phase(b.H[0])
+		ph[0] = phase * 180 / math.Pi
+		for k := 1; k < len(b.H); k++ {
+			p := cmplx.Phase(b.H[k])
+			for p-phase > math.Pi {
+				p -= 2 * math.Pi
+			}
+			for p-phase < -math.Pi {
+				p += 2 * math.Pi
+			}
+			phase = p
+			ph[k] = phase * 180 / math.Pi
+		}
+		b.phaseDeg = ph
+	}
+	return b.phaseDeg
+}
 
 // PhaseDeg returns the unwrapped phase in degrees at sample i, unwrapping
 // from sample 0 so a multi-pole roll-off stays monotone.
-func (b *Bode) PhaseDeg(i int) float64 {
-	phase := cmplx.Phase(b.H[0])
-	for k := 1; k <= i; k++ {
-		p := cmplx.Phase(b.H[k])
-		for p-phase > math.Pi {
-			p -= 2 * math.Pi
-		}
-		for p-phase < -math.Pi {
-			p += 2 * math.Pi
-		}
-		phase = p
-	}
-	return phase * 180 / math.Pi
-}
+func (b *Bode) PhaseDeg(i int) float64 { return b.phases()[i] }
 
 // DCGainDB returns the magnitude of the first (lowest-frequency) sample.
 func (b *Bode) DCGainDB() float64 { return b.MagDB(0) }

@@ -77,7 +77,11 @@ func (c *Circuit) dcScratch(n int) *solverScratch {
 		if c.solverKind() == SolverDense {
 			s.solver = linalg.NewDenseSolver(n)
 		} else {
-			s.solver = linalg.NewSparseSolver(n)
+			sp := linalg.NewSparseSolver(n)
+			if c.Opts.SymCache != nil {
+				sp.SetSymbolicCache(c.Opts.SymCache)
+			}
+			s.solver = sp
 		}
 		s.res = linalg.NewVector(n)
 		s.dx = linalg.NewVector(n)
@@ -94,7 +98,11 @@ func (c *Circuit) acScratch(n int) *solverScratch {
 		if c.solverKind() == SolverDense {
 			s.acSolver = linalg.NewDenseComplexSolver(n)
 		} else {
-			s.acSolver = linalg.NewSparseComplexSolver(n)
+			sp := linalg.NewSparseComplexSolver(n)
+			if c.Opts.SymCache != nil {
+				sp.SetSymbolicCache(c.Opts.SymCache)
+			}
+			s.acSolver = sp
 		}
 		s.acB = make([]complex128, n)
 		s.acPrev = linalg.SolverStats{}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"specwise/internal/linalg"
 )
@@ -83,6 +84,10 @@ func (c *Circuit) DC(opts DCOptions) (*DCResult, error) {
 	n := c.NumVars()
 	w := c.dcScratch(n)
 	w.lastFactorErr = nil
+	if st := c.SolverStats; st != nil {
+		start := time.Now()
+		defer func() { st.DCNanos.Add(time.Since(start).Nanoseconds()) }()
+	}
 	defer func() { c.flushSolverStats(w.solver.Stats(), &w.prev) }()
 	x := linalg.NewVector(n)
 	warm := opts.InitialX != nil

@@ -3,6 +3,7 @@ package spice
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 
 	"specwise/internal/linalg"
@@ -45,6 +46,42 @@ type Options struct {
 	// Solver selects the linear-solver backend; SolverAuto (the zero
 	// value) follows DefaultSolver.
 	Solver SolverKind
+	// SweepWorkers bounds the goroutines ACSweep fans frequency points
+	// over when the backend supports shared-structure numeric
+	// workspaces. 0 follows DefaultSweepWorkers; the effective count is
+	// clamped to the number of sweep points. Sweep results are
+	// bit-identical for every setting.
+	SweepWorkers int
+	// SymCache, when non-nil, shares symbolic LU factorizations across
+	// circuits with identical matrix structure (sparse backend only).
+	// The evaluation harness seeds one per problem from a reference
+	// circuit and freezes it, so the thousands of per-evaluation
+	// circuits skip pattern analysis and fill-reducing ordering. Set it
+	// before the first analysis.
+	SymCache *linalg.SymbolicCache
+}
+
+// DefaultSweepWorkers is the AC-sweep worker count for circuits whose
+// Options leave SweepWorkers at 0; 0 or negative means GOMAXPROCS.
+var DefaultSweepWorkers = 0
+
+// sweepWorkers resolves the effective AC-sweep worker count for a sweep
+// of npts frequency points.
+func (c *Circuit) sweepWorkers(npts int) int {
+	w := c.Opts.SweepWorkers
+	if w <= 0 {
+		w = DefaultSweepWorkers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > npts {
+		w = npts
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // solverKind resolves the effective backend for this circuit.
@@ -77,6 +114,12 @@ type SolverStats struct {
 	// FactorNNZ is the stored-entry count of its L+U factors; the excess
 	// over MatrixNNZ is the fill-in.
 	FactorNNZ atomic.Int64
+	// DCNanos, ACNanos and TranNanos split analysis wall time
+	// (assembly + factorization + solves) by analysis type, so the
+	// solver cost structure is visible without a profiler.
+	DCNanos   atomic.Int64
+	ACNanos   atomic.Int64
+	TranNanos atomic.Int64
 	// kind records the backend of the last flushing circuit.
 	kind atomic.Int64
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"specwise/internal/linalg"
 )
@@ -188,6 +189,13 @@ func (c *Circuit) Tran(opts TranOptions) (*TranResult, error) {
 			return nil, fmt.Errorf("spice: transient initial DC failed: %w", err)
 		}
 		copy(x, dc.X)
+	}
+
+	// Timing starts after the initial operating point so that work is
+	// accounted under DCNanos, not double-counted here.
+	if st := c.SolverStats; st != nil {
+		start := time.Now()
+		defer func() { st.TranNanos.Add(time.Since(start).Nanoseconds()) }()
 	}
 
 	// Reset capacitor branch states against the initial solution.

@@ -113,7 +113,7 @@ func VerifyYieldContext(ctx context.Context, p *Problem, d []float64, n int, see
 	if err != nil {
 		return nil, err
 	}
-	return core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed)
+	return core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed, 0)
 }
 
 // PairMeasure is one ranked mismatch-pair entry.
