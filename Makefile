@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-check benchsmoke profile check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke profile check serve
 
 all: check
 
@@ -54,13 +54,18 @@ build:
 test:
 	$(GO) test ./...
 
-# The jobs and server layers are the concurrency-heavy code paths; the
-# spice and wcd packages join them because the optimizer evaluates
-# circuits (and their shared solver-stat counters) from parallel
-# gradient workers.
+# The jobs, server and worker layers are the concurrency-heavy code
+# paths (queue, leases, heartbeats); the spice and wcd packages join
+# them because the optimizer evaluates circuits (and their shared
+# solver-stat counters) from parallel gradient workers.
 race:
-	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/core/... \
-		./internal/spice/... ./internal/wcd/...
+	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/worker/... \
+		./internal/core/... ./internal/spice/... ./internal/wcd/...
+
+# End-to-end smoke of the remote pull-worker binary path: one
+# remote-only manager behind httptest, one pull-worker, one verify job.
+workersmoke: build
+	$(GO) test -run TestWorkerSmoke ./cmd/specwise-worker
 
 vet:
 	$(GO) vet ./...
@@ -73,7 +78,7 @@ fmt:
 
 # Pre-merge gate. For hot-path changes, additionally run `make
 # bench-check` to catch >20% ns/op regressions against BENCH_core.json.
-check: build vet fmt test race benchsmoke
+check: build vet fmt test race workersmoke benchsmoke
 
 # Run the yield-optimization daemon locally.
 serve:

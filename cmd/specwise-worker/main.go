@@ -1,0 +1,77 @@
+// Command specwise-worker is a remote pull-worker for the specwised
+// yield-optimization service: it polls a specwised instance over the
+// /v1/worker lease protocol, runs claimed jobs with the same optimizer
+// machinery the daemon's in-process pool uses (results are
+// bit-identical whichever pool runs a job), heartbeats its leases, and
+// reports back with exponential backoff on transient HTTP errors.
+//
+// The paper farmed its verification Monte-Carlo out to five machines;
+// this is that shape: one specwised (possibly -remote-only) front end,
+// N specwise-worker processes wherever there are spare cores.
+//
+// Usage:
+//
+//	specwise-worker -server http://daemon:8080 [-token T] [-name host-1] \
+//	    [-poll 500ms] [-verify-workers N] [-sweep-workers N] [-max-jobs N]
+//
+// The worker exits on SIGINT/SIGTERM (in-flight leases are dropped and
+// requeue on the daemon after the lease TTL), after -max-jobs jobs, or
+// on a fatal protocol error such as a rejected token.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specwise/internal/worker"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "base URL of the specwised instance")
+	token := flag.String("token", "", "worker bearer token (matching specwised -worker-token)")
+	name := flag.String("name", "", "worker name for leases and per-shard metrics (default hostname-pid)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between claim attempts")
+	verifyWorkers := flag.Int("verify-workers", 0,
+		"Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
+	sweepWorkers := flag.Int("sweep-workers", 0,
+		"per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
+	maxJobs := flag.Int("max-jobs", 0, "exit after this many executed jobs (0 = run forever)")
+	flag.Parse()
+
+	if *name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("specwise-worker %s polling %s", *name, *server)
+	err := worker.Run(ctx, worker.Config{
+		Server:        *server,
+		Token:         *token,
+		Name:          *name,
+		Poll:          *poll,
+		VerifyWorkers: *verifyWorkers,
+		SweepWorkers:  *sweepWorkers,
+		MaxJobs:       *maxJobs,
+		Logf:          log.Printf,
+	})
+	switch {
+	case err == nil || errors.Is(err, context.Canceled):
+		log.Printf("specwise-worker %s exiting", *name)
+	default:
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"specwise/internal/jobs"
+	"specwise/internal/server"
+	"specwise/internal/worker"
+)
+
+// TestWorkerSmoke is the `make workersmoke` target: one remote-only
+// specwised manager behind httptest, one pull-worker with -max-jobs 1
+// semantics, one OTA verify job end to end.
+func TestWorkerSmoke(t *testing.T) {
+	m := jobs.New(jobs.Config{RemoteOnly: true, LeaseTTL: 10 * time.Second})
+	defer m.Close()
+	ts := httptest.NewServer(server.New(m, server.WithWorkerToken("smoke")))
+	defer ts.Close()
+
+	opts := jobs.RunOptions{VerifySamples: 30, Seed: jobs.Seed(11)}
+	job, err := m.Submit(jobs.Request{Kind: jobs.KindVerify, Circuit: "ota", Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	err = worker.Run(ctx, worker.Config{
+		Server:  ts.URL,
+		Token:   "smoke",
+		Name:    "smoke-1",
+		Poll:    10 * time.Millisecond,
+		Backoff: 10 * time.Millisecond,
+		MaxJobs: 1,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("worker.Run: %v", err)
+	}
+
+	if st := job.Status(); st.State != jobs.StateDone || st.Worker != "smoke-1" {
+		t.Fatalf("job after smoke run: %+v", st)
+	}
+	res, ok := job.Result()
+	if !ok || res.Verification == nil || res.Verification.Samples != 30 {
+		t.Fatalf("bad verification payload: %+v", res)
+	}
+}

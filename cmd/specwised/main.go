@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	specwised [-addr :8080] [-workers N] [-queue N]
+//	specwised [-addr :8080] [-workers N] [-queue N] \
+//	    [-worker-token T] [-lease-ttl 30s] [-remote-only] \
+//	    [-retain-jobs N] [-retain-for D]
+//
+// Remote pull-workers (cmd/specwise-worker) claim jobs over the
+// /v1/worker lease endpoints; -worker-token gates that API,
+// -lease-ttl bounds how long a silent worker holds a job before it is
+// requeued, and -remote-only disables the in-process pool so every job
+// runs on remote workers.
 //
 // Submit a job and read it back:
 //
@@ -43,17 +51,31 @@ func main() {
 		"default Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"default per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
+	workerToken := flag.String("worker-token", "",
+		"bearer token required on the /v1/worker endpoints (empty = open)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second,
+		"remote-worker lease TTL; a silent lease past this is requeued")
+	remoteOnly := flag.Bool("remote-only", false,
+		"disable the in-process pool: every job runs on remote pull-workers")
+	retainJobs := flag.Int("retain-jobs", 0,
+		"max terminal jobs kept for status queries (0 = default 512, negative = unlimited)")
+	retainFor := flag.Duration("retain-for", 0,
+		"evict terminal jobs older than this (0 = no TTL sweep)")
 	flag.Parse()
 
 	manager := jobs.New(jobs.Config{
 		Workers:       *workers,
+		RemoteOnly:    *remoteOnly,
 		QueueSize:     *queue,
 		VerifyWorkers: *verifyWorkers,
 		SweepWorkers:  *sweepWorkers,
+		LeaseTTL:      *leaseTTL,
+		RetainJobs:    *retainJobs,
+		RetainFor:     *retainFor,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(manager),
+		Handler:           server.New(manager, server.WithWorkerToken(*workerToken)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -24,8 +24,12 @@ type Options struct {
 	VerifySamples int
 	// MaxIterations bounds the outer linearize/search/line-search loop.
 	MaxIterations int
-	// Seed drives every random stream of the run.
+	// Seed drives every random stream of the run. A zero Seed selects
+	// the paper's default stream unless HasSeed is set.
 	Seed uint64
+	// HasSeed marks Seed as explicitly chosen, making seed 0 a real,
+	// requestable stream instead of shorthand for the default.
+	HasSeed bool
 	// NoConstraints disables the functional constraints entirely — the
 	// Table-3 ablation.
 	NoConstraints bool
@@ -107,7 +111,7 @@ func (o *Options) defaults() {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 2
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.HasSeed {
 		o.Seed = 20010618 // DAC 2001 opening day
 	}
 }

@@ -1,0 +1,80 @@
+package jobs
+
+import (
+	"context"
+
+	"specwise/internal/core"
+	"specwise/internal/report"
+	"specwise/internal/wcd"
+)
+
+// ExecEnv carries pool-level execution defaults. Every knob here is
+// behaviour-preserving: a request produces a bit-identical result
+// envelope whichever pool — the in-process goroutines or a remote
+// pull-worker with entirely different settings — executes it (the
+// wall-clock solver timings in the perf block aside).
+type ExecEnv struct {
+	// VerifyWorkers is the Monte-Carlo verification pool default for
+	// requests that do not set options.verifyWorkers (0 = GOMAXPROCS).
+	VerifyWorkers int
+	// SweepWorkers is the per-frequency AC-sweep fan-out default for
+	// requests that do not set options.sweepWorkers (0 = GOMAXPROCS).
+	SweepWorkers int
+	// Progress, when non-nil, receives optimizer milestones. Remote
+	// workers leave it nil — progress is not streamed back over the
+	// pull protocol.
+	Progress func(core.ProgressEvent)
+}
+
+// Execute runs one resolved request end to end. It is the single
+// execution path shared by the manager's local pool and the remote
+// pull-workers, which is what makes the two interchangeable. The
+// returned core.Result is non-nil only for optimize-kind requests (the
+// manager folds its reuse counters into the service metrics; remote
+// workers ignore it).
+func Execute(ctx context.Context, p *core.Problem, req *Request, env ExecEnv) (*Result, *core.Result, error) {
+	switch req.Kind {
+	case KindVerify:
+		n := req.Options.VerifySamples
+		if n == 0 {
+			n = 300
+		}
+		d := p.InitialDesign()
+		zeroS := make([]float64, p.NumStat())
+		thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		workers := req.Options.VerifyWorkers
+		if workers <= 0 {
+			workers = env.VerifyWorkers
+		}
+		mc, err := core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, req.Options.seed(), workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{Kind: KindVerify, Verification: report.JSONVerification(p, mc)}, nil, nil
+
+	default: // KindOptimize
+		opts := req.Options.Core()
+		if opts.VerifyWorkers <= 0 {
+			opts.VerifyWorkers = env.VerifyWorkers
+		}
+		if opts.SweepWorkers <= 0 {
+			opts.SweepWorkers = env.SweepWorkers
+		}
+		opts.Progress = env.Progress
+		opt, err := core.NewOptimizer(p, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := opt.RunContext(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{Kind: KindOptimize, Optimization: report.JSONResult(res)}, res, nil
+	}
+}

@@ -5,13 +5,17 @@
 // reporting), and kept in an in-memory store with a deterministic
 // content-hash result cache — identical (problem, seed, options)
 // submissions are answered instantly. The paper farmed its verification
-// Monte-Carlo out to a cluster of five machines; this package is the
-// same idea with goroutines for workers and an HTTP layer on top
-// (internal/server).
+// Monte-Carlo out to a cluster of five machines; this package gives
+// that shape two interchangeable worker pools: in-process goroutines,
+// and remote pull-workers that claim jobs under expiring leases over
+// the HTTP layer on top (internal/server, cmd/specwise-worker). The
+// store applies a retention policy (cap + TTL) to terminal jobs so the
+// job map stays bounded under sustained traffic.
 package jobs
 
 import (
 	"bytes"
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -36,17 +40,22 @@ const (
 // RunOptions is the JSON-facing subset of core.Options a request may set.
 // Zero values fall back to the optimizer's paper defaults.
 type RunOptions struct {
-	ModelSamples       int    `json:"modelSamples,omitempty"`
-	VerifySamples      int    `json:"verifySamples,omitempty"`
-	MaxIterations      int    `json:"maxIterations,omitempty"`
-	Seed               uint64 `json:"seed,omitempty"`
-	NoConstraints      bool   `json:"noConstraints,omitempty"`
-	LinearizeAtNominal bool   `json:"linearizeAtNominal,omitempty"`
-	NoMirrorSpecs      bool   `json:"noMirrorSpecs,omitempty"`
-	SkipVerify         bool   `json:"skipVerify,omitempty"`
-	LHS                bool   `json:"lhs,omitempty"`
-	QuadraticSpecs     bool   `json:"quadraticSpecs,omitempty"`
-	RefineThetaPasses  int    `json:"refineThetaPasses,omitempty"`
+	ModelSamples  int `json:"modelSamples,omitempty"`
+	VerifySamples int `json:"verifySamples,omitempty"`
+	MaxIterations int `json:"maxIterations,omitempty"`
+	// Seed is a pointer so "unset" (nil, the paper's default stream) is
+	// distinguishable from an explicit seed 0. The omitempty marshalling
+	// keeps the content hash of seedless and nonzero-seed requests
+	// byte-identical to the pre-pointer encoding, so existing cache
+	// entries stay reachable.
+	Seed               *uint64 `json:"seed,omitempty"`
+	NoConstraints      bool    `json:"noConstraints,omitempty"`
+	LinearizeAtNominal bool    `json:"linearizeAtNominal,omitempty"`
+	NoMirrorSpecs      bool    `json:"noMirrorSpecs,omitempty"`
+	SkipVerify         bool    `json:"skipVerify,omitempty"`
+	LHS                bool    `json:"lhs,omitempty"`
+	QuadraticSpecs     bool    `json:"quadraticSpecs,omitempty"`
+	RefineThetaPasses  int     `json:"refineThetaPasses,omitempty"`
 	// VerifyWorkers and SweepWorkers bound the Monte-Carlo verification
 	// pool and the per-frequency AC-sweep fan-out. Both are
 	// behaviour-preserving (results are bit-identical for any setting),
@@ -56,13 +65,30 @@ type RunOptions struct {
 	SweepWorkers  int `json:"sweepWorkers,omitempty"`
 }
 
+// Seed returns a pointer to v, for building RunOptions literals.
+func Seed(v uint64) *uint64 { return &v }
+
+// defaultSeed is the optimizer's default random stream (DAC 2001
+// opening day), used when a request leaves the seed unset.
+const defaultSeed = 20010618
+
+// seed resolves the request seed: nil means the default stream, any
+// explicit value — including zero — is honored as-is.
+func (o RunOptions) seed() uint64 {
+	if o.Seed != nil {
+		return *o.Seed
+	}
+	return defaultSeed
+}
+
 // Core converts the wire options into optimizer options.
 func (o RunOptions) Core() core.Options {
 	return core.Options{
 		ModelSamples:       o.ModelSamples,
 		VerifySamples:      o.VerifySamples,
 		MaxIterations:      o.MaxIterations,
-		Seed:               o.Seed,
+		Seed:               o.seed(),
+		HasSeed:            true,
 		NoConstraints:      o.NoConstraints,
 		LinearizeAtNominal: o.LinearizeAtNominal,
 		NoMirrorSpecs:      o.NoMirrorSpecs,
@@ -160,11 +186,17 @@ type Result struct {
 
 // Status is the JSON-friendly snapshot served by GET /v1/jobs/{id}.
 type Status struct {
-	ID          string          `json:"id"`
-	Kind        string          `json:"kind"`
-	State       State           `json:"state"`
-	Cached      bool            `json:"cached,omitempty"`
-	Error       string          `json:"error,omitempty"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Worker names the remote pull-worker holding (or last holding) the
+	// job's lease; empty for jobs run by the in-process pool.
+	Worker string `json:"worker,omitempty"`
+	// Attempts counts execution starts: 1 for a job that ran once, more
+	// when expired leases requeued it.
+	Attempts    int             `json:"attempts,omitempty"`
 	EnqueuedAt  time.Time       `json:"enqueuedAt"`
 	StartedAt   *time.Time      `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time      `json:"finishedAt,omitempty"`
@@ -185,9 +217,20 @@ type Job struct {
 	state    State
 	err      string
 	cached   bool
-	cancel   func() // non-nil while running
+	cancel   func() // non-nil while running on the local pool
 	progress []ProgressEntry
 	result   *Result
+
+	// Queue membership: non-nil while the job waits in Manager.pending,
+	// removed eagerly on cancellation so the slot frees immediately.
+	queueEl *list.Element
+
+	// Lease bookkeeping for remote pull-workers (empty for local runs).
+	worker        string
+	leaseID       string
+	leaseDeadline time.Time
+	attempts      int // execution starts (local runs + remote claims)
+	requeues      int // lease expiries that sent the job back to the queue
 
 	enqueued time.Time
 	started  time.Time
@@ -231,6 +274,8 @@ func (j *Job) Status() Status {
 		State:      j.state,
 		Cached:     j.cached,
 		Error:      j.err,
+		Worker:     j.worker,
+		Attempts:   j.attempts,
 		EnqueuedAt: j.enqueued,
 		Progress:   append([]ProgressEntry(nil), j.progress...),
 	}

@@ -1,12 +1,16 @@
 package jobs
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"specwise/internal/core"
+	"specwise/internal/report"
+	"specwise/internal/wcd"
 )
 
 // testProblem is a cheap two-spec analytic problem (the optimizer-test
@@ -62,7 +66,7 @@ func waitState(t *testing.T, j *Job, timeout time.Duration) State {
 	return j.State()
 }
 
-var quickOpts = RunOptions{ModelSamples: 500, VerifySamples: 50, MaxIterations: 1, Seed: 7}
+var quickOpts = RunOptions{ModelSamples: 500, VerifySamples: 50, MaxIterations: 1, Seed: Seed(7)}
 
 func TestJobRunsToCompletion(t *testing.T) {
 	m := testManager(t, Config{Workers: 2}, 0)
@@ -136,7 +140,7 @@ func TestIdenticalResubmissionHitsCache(t *testing.T) {
 
 	// A different seed is a different problem: it must miss.
 	miss := req
-	miss.Options.Seed = 8
+	miss.Options.Seed = Seed(8)
 	third, err := m.Submit(miss)
 	if err != nil {
 		t.Fatal(err)
@@ -152,7 +156,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 	submit := func(seed uint64) *Job {
 		t.Helper()
 		opts := quickOpts
-		opts.Seed = seed
+		opts.Seed = Seed(seed)
 		job, err := m.Submit(Request{Circuit: "analytic", Options: opts})
 		if err != nil {
 			t.Fatal(err)
@@ -190,7 +194,7 @@ func TestCancelRunningJob(t *testing.T) {
 	// in-flight window; the job must still wind down promptly.
 	m := testManager(t, Config{Workers: 1}, 200*time.Microsecond)
 	job, err := m.Submit(Request{Circuit: "analytic", Options: RunOptions{
-		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 3,
+		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: Seed(3),
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +225,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	m := testManager(t, Config{Workers: 1}, 500*time.Microsecond)
 	// Occupy the single worker.
 	blocker, err := m.Submit(Request{Circuit: "analytic", Options: RunOptions{
-		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 1,
+		ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: Seed(1),
 	}})
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +248,7 @@ func TestCancelQueuedJob(t *testing.T) {
 
 func TestQueueFull(t *testing.T) {
 	m := testManager(t, Config{Workers: 1, QueueSize: 1}, 500*time.Microsecond)
-	slow := RunOptions{ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: 1}
+	slow := RunOptions{ModelSamples: 500, VerifySamples: 5000, MaxIterations: 8, Seed: Seed(1)}
 	// Occupy the worker, then fill the single queue slot; the next
 	// submission must bounce with ErrQueueFull.
 	blocker, err := m.Submit(Request{Circuit: "analytic", Options: slow})
@@ -259,13 +263,13 @@ func TestQueueFull(t *testing.T) {
 		t.Fatalf("blocker never started (state %v)", blocker.State())
 	}
 	filler := slow
-	filler.Seed = 2
+	filler.Seed = Seed(2)
 	queued, err := m.Submit(Request{Circuit: "analytic", Options: filler})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rejected := slow
-	rejected.Seed = 3
+	rejected.Seed = Seed(3)
 	if _, err := m.Submit(Request{Circuit: "analytic", Options: rejected}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
 	}
@@ -309,7 +313,7 @@ func TestRequestHashNormalization(t *testing.T) {
 		t.Error("whitespace-only spec difference changed the hash")
 	}
 	c := a
-	c.Options.Seed = 99
+	c.Options.Seed = Seed(99)
 	hc, err := c.Hash()
 	if err != nil {
 		t.Fatal(err)
@@ -322,7 +326,7 @@ func TestRequestHashNormalization(t *testing.T) {
 func TestVerifyKind(t *testing.T) {
 	m := testManager(t, Config{Workers: 1}, 0)
 	job, err := m.Submit(Request{Kind: KindVerify, Circuit: "analytic",
-		Options: RunOptions{VerifySamples: 200, Seed: 5}})
+		Options: RunOptions{VerifySamples: 200, Seed: Seed(5)}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -338,5 +342,218 @@ func TestVerifyKind(t *testing.T) {
 	}
 	if res.Verification.Yield < 0 || res.Verification.Yield > 1 {
 		t.Errorf("yield = %v", res.Verification.Yield)
+	}
+}
+
+// --- lifecycle regression tests (PR 5) ---
+
+// A canceled queued job must free its queue slot immediately: before
+// the list-based queue, the canceled entry sat in the channel until a
+// worker drained it, so ErrQueueFull fired while capacity was
+// logically free.
+func TestCancelQueuedJobFreesSlot(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true, QueueSize: 1}, 0)
+	a, err := m.Submit(Request{Circuit: "analytic", Options: quickOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := quickOpts
+	full.Seed = Seed(2)
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: full}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("second submit: err = %v, want ErrQueueFull", err)
+	}
+	if err := m.Cancel(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(Request{Circuit: "analytic", Options: full})
+	if err != nil {
+		t.Fatalf("submit after cancel: %v (the canceled job still pins the slot)", err)
+	}
+	// The queue must hand out the live job, not the canceled one.
+	lease, err := m.Claim("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease == nil || lease.JobID != b.ID() {
+		t.Fatalf("claim = %+v, want job %s", lease, b.ID())
+	}
+}
+
+// A full-queue rejection must leave no trace: the job is not tracked
+// and the store gauge is unchanged.
+func TestQueueFullRollback(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true, QueueSize: 1}, 0)
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: quickOpts}); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Metrics().JobsTracked()
+	over := quickOpts
+	over.Seed = Seed(2)
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: over}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if got := m.Metrics().JobsTracked(); got != before {
+		t.Errorf("jobs tracked after rejection = %d, want %d", got, before)
+	}
+	if got := len(m.Jobs()); got != 1 {
+		t.Errorf("job list has %d entries after rejection, want 1", got)
+	}
+}
+
+// Close must not strand queued jobs in StateQueued: workers may exit
+// via ctx.Done without draining the queue.
+func TestCloseCancelsQueuedJobs(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true}, 0)
+	var js []*Job
+	for seed := uint64(1); seed <= 3; seed++ {
+		opts := quickOpts
+		opts.Seed = Seed(seed)
+		j, err := m.Submit(Request{Circuit: "analytic", Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		js = append(js, j)
+	}
+	m.Close()
+	for _, j := range js {
+		if st := j.State(); st != StateCanceled {
+			t.Errorf("job %s after Close: state %v, want canceled", j.ID(), st)
+		}
+	}
+	if got := m.Metrics().Canceled(); got != 3 {
+		t.Errorf("canceled counter = %d, want 3", got)
+	}
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: quickOpts}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// Terminal jobs must not accumulate without bound: the retention cap
+// evicts the oldest-finished first.
+func TestRetentionCapEvictsTerminalJobs(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true, RetainJobs: 2}, 0)
+	var ids []string
+	for seed := uint64(1); seed <= 4; seed++ {
+		opts := quickOpts
+		opts.Seed = Seed(seed)
+		j, err := m.Submit(Request{Circuit: "analytic", Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Cancel(j.ID()); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	if got := m.Metrics().JobsTracked(); got != 2 {
+		t.Errorf("jobs tracked = %d, want 2", got)
+	}
+	if got := m.Metrics().JobsEvicted(); got != 2 {
+		t.Errorf("jobs evicted = %d, want 2", got)
+	}
+	for _, id := range ids[:2] {
+		if _, ok := m.Get(id); ok {
+			t.Errorf("oldest job %s still tracked past the cap", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := m.Get(id); !ok {
+			t.Errorf("recent job %s was evicted", id)
+		}
+	}
+}
+
+// The retention TTL sweep evicts terminal jobs by age, driven here by
+// a fake clock.
+func TestRetentionTTLSweep(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{RemoteOnly: true, RetainFor: time.Hour, clock: clk.Now}
+	m := testManager(t, cfg, 0)
+	for seed := uint64(1); seed <= 2; seed++ {
+		opts := quickOpts
+		opts.Seed = Seed(seed)
+		j, err := m.Submit(Request{Circuit: "analytic", Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Cancel(j.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.sweep(clk.Now())
+	if got := m.Metrics().JobsTracked(); got != 2 {
+		t.Fatalf("fresh terminal jobs evicted early (tracked = %d)", got)
+	}
+	clk.Advance(2 * time.Hour)
+	m.sweep(clk.Now())
+	if got := m.Metrics().JobsTracked(); got != 0 {
+		t.Errorf("jobs tracked after TTL sweep = %d, want 0", got)
+	}
+	if got := m.Metrics().JobsEvicted(); got != 2 {
+		t.Errorf("jobs evicted = %d, want 2", got)
+	}
+}
+
+// Seed 0 must be a real, requestable stream: distinct from an unset
+// seed in the content hash, and honored (not silently replaced with
+// the default stream) by execution.
+func TestSeedZeroIsRequestable(t *testing.T) {
+	unset := Request{Kind: KindVerify, Circuit: "analytic", Options: RunOptions{VerifySamples: 300}}
+	zero := unset
+	zero.Options.Seed = Seed(0)
+	hu, err := unset.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz, err := zero.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hu == hz {
+		t.Fatal("seed 0 hashes like an unset seed: the cache would conflate them")
+	}
+	// The wire encoding of unset and nonzero seeds is unchanged, so
+	// pre-pointer cache keys stay reachable.
+	if blob, _ := json.Marshal(RunOptions{}); strings.Contains(string(blob), "seed") {
+		t.Errorf("unset seed leaks into the encoding: %s", blob)
+	}
+	if blob, _ := json.Marshal(RunOptions{Seed: Seed(7)}); !strings.Contains(string(blob), `"seed":7`) {
+		t.Errorf("explicit seed encoded unexpectedly: %s", blob)
+	}
+
+	m := testManager(t, Config{Workers: 1}, 0)
+	jz, err := m.Submit(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ju, err := m.Submit(unset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitState(t, jz, 10*time.Second) != StateDone || waitState(t, ju, 10*time.Second) != StateDone {
+		t.Fatalf("verify jobs did not finish (%v / %v)", jz.Err(), ju.Err())
+	}
+	rz, _ := jz.Result()
+	ru, _ := ju.Result()
+	bz, _ := json.Marshal(rz.Verification)
+	bu, _ := json.Marshal(ru.Verification)
+	if string(bz) == string(bu) {
+		t.Error("seed 0 produced the default-stream result: the zero seed was swallowed")
+	}
+	// And seed 0 means literally seed 0: the job must match a direct
+	// library-level verification with that seed.
+	p := testProblem(0)
+	d := p.InitialDesign()
+	thetaRes, err := wcd.WorstCaseTheta(p, d, make([]float64, p.NumStat()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := core.VerifyMCContext(context.Background(), p, d, thetaRes.PerSpec, 300, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(report.JSONVerification(p, mc))
+	if string(bz) != string(want) {
+		t.Errorf("seed-0 job result differs from direct seed-0 run:\n got %s\nwant %s", bz, want)
 	}
 }

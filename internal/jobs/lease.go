@@ -1,0 +1,150 @@
+package jobs
+
+// The lease layer: remote pull-workers claim queued jobs over HTTP
+// (internal/server's /v1/worker endpoints), keep them alive with
+// heartbeats, and post back a result or failure. A lease that goes
+// silent past its TTL is expired by the manager's sweeper: the job is
+// requeued with a bounded retry count, so a killed worker costs one
+// lease TTL, not the job. Stale claimants — a worker whose lease was
+// expired, canceled or superseded — are refused with ErrLeaseLost on
+// every operation, which is what makes completion exactly-once.
+
+import (
+	"fmt"
+	"time"
+)
+
+// Lease is one granted claim: everything a remote worker needs to run
+// the job (the original request; the worker resolves the problem with
+// the same ResolveProblem the manager uses) and to stay its lease.
+type Lease struct {
+	JobID   string `json:"job"`
+	LeaseID string `json:"lease"`
+	Kind    string `json:"kind"`
+	// Deadline is when the lease expires without a heartbeat, on the
+	// manager's clock; TTLSeconds is the renewal budget, from which
+	// workers derive their heartbeat cadence.
+	Deadline   time.Time `json:"deadline"`
+	TTLSeconds float64   `json:"ttlSeconds"`
+	Request    Request   `json:"request"`
+}
+
+// Claim hands the oldest queued job to a remote worker under a fresh
+// lease. It returns (nil, nil) when no job is queued — the worker polls
+// again later. The claimed job transitions to StateRunning exactly as a
+// locally picked job would.
+func (m *Manager) Claim(worker string) (*Lease, error) {
+	if err := m.ctx.Err(); err != nil {
+		return nil, ErrClosed
+	}
+	if worker == "" {
+		return nil, fmt.Errorf("jobs: worker name required")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		job := m.takeLocked()
+		if job == nil {
+			return nil, nil
+		}
+		job.mu.Lock()
+		if job.state != StateQueued { // raced a cancellation
+			job.mu.Unlock()
+			continue
+		}
+		m.leaseSeq++
+		now := m.now()
+		job.state = StateRunning
+		job.worker = worker
+		job.leaseID = fmt.Sprintf("lease-%06d", m.leaseSeq)
+		job.leaseDeadline = now.Add(m.cfg.LeaseTTL)
+		job.attempts++
+		job.started = now
+		lease := &Lease{
+			JobID:      job.id,
+			LeaseID:    job.leaseID,
+			Kind:       job.req.Kind,
+			Deadline:   job.leaseDeadline,
+			TTLSeconds: m.cfg.LeaseTTL.Seconds(),
+			Request:    job.req,
+		}
+		job.mu.Unlock()
+		m.metrics.queued.Add(-1)
+		m.metrics.running.Add(1)
+		m.metrics.claims.Add(1)
+		m.metrics.leasesActive.Add(1)
+		m.metrics.workerStat(worker).Claims.Add(1)
+		return lease, nil
+	}
+}
+
+// Heartbeat extends a lease by one TTL and returns the new deadline.
+// ErrLeaseLost tells the worker its lease is gone (expired, canceled or
+// requeued) and it should abandon the job.
+func (m *Manager) Heartbeat(jobID, leaseID string) (time.Time, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[jobID]
+	if !ok {
+		return time.Time{}, ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.leaseID != leaseID {
+		return time.Time{}, ErrLeaseLost
+	}
+	j.leaseDeadline = m.now().Add(m.cfg.LeaseTTL)
+	return j.leaseDeadline, nil
+}
+
+// Complete finishes a leased job with its result. The lease must still
+// be current: a worker whose lease expired (and whose job may already
+// have been re-run elsewhere) is refused, so every job completes
+// exactly once.
+func (m *Manager) Complete(jobID, leaseID string, res *Result) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[jobID]
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.leaseID != leaseID {
+		return ErrLeaseLost
+	}
+	busy := m.now().Sub(j.started)
+	j.result = res
+	m.finishLocked(j, StateDone, "")
+	m.metrics.leasesActive.Add(-1)
+	m.metrics.wallNanos.Add(int64(busy))
+	ws := m.metrics.workerStat(j.worker)
+	ws.Done.Add(1)
+	ws.BusyNanos.Add(int64(busy))
+	return nil
+}
+
+// Fail records a worker-reported execution failure. Failures are
+// deterministic (the worker retries transient transport errors itself),
+// so the job is not requeued.
+func (m *Manager) Fail(jobID, leaseID, msg string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[jobID]
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.leaseID != leaseID {
+		return ErrLeaseLost
+	}
+	busy := m.now().Sub(j.started)
+	m.finishLocked(j, StateFailed, fmt.Sprintf("worker %q: %s", j.worker, msg))
+	m.metrics.leasesActive.Add(-1)
+	m.metrics.wallNanos.Add(int64(busy))
+	ws := m.metrics.workerStat(j.worker)
+	ws.Failed.Add(1)
+	ws.BusyNanos.Add(int64(busy))
+	return nil
+}

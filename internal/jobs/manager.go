@@ -13,8 +13,6 @@ import (
 
 	"specwise/internal/circuits"
 	"specwise/internal/core"
-	"specwise/internal/report"
-	"specwise/internal/wcd"
 	"specwise/internal/yieldspec"
 )
 
@@ -26,19 +24,41 @@ var (
 	ErrClosed = errors.New("jobs: manager closed")
 	// ErrNotFound is returned for operations on unknown job IDs.
 	ErrNotFound = errors.New("jobs: no such job")
+	// ErrLeaseLost is returned when a worker operates on a lease that has
+	// expired, was requeued, or was superseded by another claimant.
+	ErrLeaseLost = errors.New("jobs: lease expired or superseded")
 )
 
 // Config sizes the manager.
 type Config struct {
-	// Workers is the number of concurrent optimizer workers
-	// (default: half the CPUs, at least 1).
+	// Workers is the number of concurrent in-process optimizer workers
+	// (default: half the CPUs, at least 1; see RemoteOnly).
 	Workers int
+	// RemoteOnly disables the in-process worker pool entirely: every job
+	// must be claimed by a remote pull-worker over the lease protocol.
+	RemoteOnly bool
 	// QueueSize bounds the number of jobs waiting to run (default 64).
 	QueueSize int
 	// CacheSize caps the number of completed results kept for
 	// hash-identical resubmissions; the least recently used entry is
 	// evicted past the cap (default 128, negative disables caching).
 	CacheSize int
+	// RetainJobs caps the number of terminal (done/failed/canceled) jobs
+	// kept in the store for status queries; the oldest-finished is
+	// evicted past the cap (default 512, negative keeps every job).
+	// Active jobs are never evicted; the result cache is independent of
+	// job retention.
+	RetainJobs int
+	// RetainFor evicts terminal jobs older than this on the background
+	// sweep, regardless of the cap (0 disables the TTL sweep).
+	RetainFor time.Duration
+	// LeaseTTL is how long a remote claim stays valid without a
+	// heartbeat before the job is requeued (default 30s).
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times an expired lease may requeue a
+	// job before it is marked failed (default 2, negative disables
+	// requeueing — the first expiry fails the job).
+	MaxRetries int
 	// VerifyWorkers is the default Monte-Carlo verification pool size for
 	// jobs that do not set options.verifyWorkers (0 means GOMAXPROCS).
 	// Results are bit-identical for every setting.
@@ -50,10 +70,16 @@ type Config struct {
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
+
+	// clock overrides the time source for lease deadlines and retention
+	// sweeps (tests drive expiry with a fake clock). nil means time.Now.
+	clock func() time.Time
 }
 
 func (c *Config) defaults() {
-	if c.Workers <= 0 {
+	if c.RemoteOnly {
+		c.Workers = 0
+	} else if c.Workers <= 0 {
 		c.Workers = runtime.NumCPU() / 2
 		if c.Workers < 1 {
 			c.Workers = 1
@@ -65,8 +91,22 @@ func (c *Config) defaults() {
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
 	}
+	if c.RetainJobs == 0 {
+		c.RetainJobs = 512
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
 	if c.Resolve == nil {
 		c.Resolve = ResolveProblem
+	}
+	if c.clock == nil {
+		c.clock = time.Now
 	}
 }
 
@@ -90,21 +130,27 @@ func ResolveProblem(req *Request) (*core.Problem, error) {
 	return yieldspec.Parse(bytes.NewReader(req.Spec), ".")
 }
 
-// Manager owns the job store, the bounded queue, the worker pool and
-// the result cache.
+// Manager owns the job store, the bounded queue, the worker pools (the
+// in-process goroutines and the remote lease table) and the result
+// cache.
+//
+// Lock ordering: Manager.mu before Job.mu, never the reverse.
 type Manager struct {
 	cfg     Config
 	ctx     context.Context
 	stop    context.CancelFunc
-	queue   chan *Job
 	wg      sync.WaitGroup
+	wake    chan struct{} // cap 1: pending work for the local pool
 	metrics Metrics
 
-	mu    sync.Mutex
-	jobs  map[string]*Job
-	cache map[string]*list.Element // hash → element in lru
-	lru   *list.List               // of *cacheEntry, most recent first
-	seq   int
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	pending  *list.List               // of *Job, FIFO; only StateQueued jobs
+	order    *list.List               // of retained: terminal jobs in finish order
+	cache    map[string]*list.Element // hash → element in lru
+	lru      *list.List               // of *cacheEntry, most recent first
+	seq      int
+	leaseSeq int
 }
 
 // cacheEntry is one completed result in the LRU result cache.
@@ -113,18 +159,27 @@ type cacheEntry struct {
 	res  *Result
 }
 
+// retained is one terminal job in the retention queue; the finish time
+// is copied so eviction never needs the job's own lock.
+type retained struct {
+	job      *Job
+	finished time.Time
+}
+
 // New starts a manager with cfg.Workers workers. Call Close to stop.
 func New(cfg Config) *Manager {
 	cfg.defaults()
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		ctx:   ctx,
-		stop:  stop,
-		queue: make(chan *Job, cfg.QueueSize),
-		jobs:  make(map[string]*Job),
-		cache: make(map[string]*list.Element),
-		lru:   list.New(),
+		cfg:     cfg,
+		ctx:     ctx,
+		stop:    stop,
+		wake:    make(chan struct{}, 1),
+		jobs:    make(map[string]*Job),
+		pending: list.New(),
+		order:   list.New(),
+		cache:   make(map[string]*list.Element),
+		lru:     list.New(),
 	}
 	m.metrics.start = time.Now()
 	m.metrics.workers = cfg.Workers
@@ -132,8 +187,13 @@ func New(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	m.wg.Add(1)
+	go m.sweeper()
 	return m
 }
+
+// now reads the manager clock (time.Now unless a test injected a fake).
+func (m *Manager) now() time.Time { return m.cfg.clock() }
 
 // Metrics exposes the service counters.
 func (m *Manager) Metrics() *Metrics { return &m.metrics }
@@ -141,7 +201,8 @@ func (m *Manager) Metrics() *Metrics { return &m.metrics }
 // Submit validates, resolves and enqueues a request. A request whose
 // content hash matches an already-completed job is answered from the
 // result cache: the returned job is immediately done and never occupies
-// a worker. ErrQueueFull is returned when the queue is at capacity.
+// a worker. ErrQueueFull is returned when the queue is at capacity;
+// nothing of the rejected submission is retained.
 func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := m.ctx.Err(); err != nil {
 		return nil, ErrClosed
@@ -167,40 +228,63 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		hash:     hash,
 		req:      req,
 		problem:  p,
-		enqueued: time.Now(),
+		enqueued: m.now(),
 	}
 	if el, ok := m.cache[hash]; ok {
 		m.lru.MoveToFront(el)
-		job.state = StateDone
 		job.cached = true
 		job.result = el.Value.(*cacheEntry).res
-		job.started = job.enqueued
-		job.finished = job.enqueued
 		m.jobs[job.id] = job
+		job.mu.Lock()
+		m.finishLocked(job, StateDone, "")
+		job.mu.Unlock()
+		m.metrics.jobsTracked.Store(int64(len(m.jobs)))
 		m.mu.Unlock()
 		m.metrics.submitted.Add(1)
 		m.metrics.cacheHits.Add(1)
-		m.metrics.done.Add(1)
 		return job, nil
 	}
-	job.state = StateQueued
-	m.jobs[job.id] = job
-	m.mu.Unlock()
-
-	select {
-	case m.queue <- job:
-		m.metrics.submitted.Add(1)
-		m.metrics.queued.Add(1)
-		return job, nil
-	default:
-		m.mu.Lock()
-		delete(m.jobs, job.id)
+	if m.pending.Len() >= m.cfg.QueueSize {
+		// Full queue: reject before tracking anything — the rollback
+		// leaves no orphan entry in the store.
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
+	job.state = StateQueued
+	job.queueEl = m.pending.PushBack(job)
+	m.jobs[job.id] = job
+	m.metrics.jobsTracked.Store(int64(len(m.jobs)))
+	m.mu.Unlock()
+
+	m.metrics.submitted.Add(1)
+	m.metrics.queued.Add(1)
+	m.wakeOne()
+	return job, nil
 }
 
-// Get returns a job by ID.
+// wakeOne nudges one sleeping local worker; a dropped signal is fine
+// because workers re-check the queue before sleeping.
+func (m *Manager) wakeOne() {
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takeLocked pops the oldest queued job, or nil. Caller holds m.mu.
+func (m *Manager) takeLocked() *Job {
+	front := m.pending.Front()
+	if front == nil {
+		return nil
+	}
+	job := front.Value.(*Job)
+	m.pending.Remove(front)
+	job.queueEl = nil
+	return job
+}
+
+// Get returns a job by ID. Terminal jobs evicted by the retention
+// policy are no longer found.
 func (m *Manager) Get(id string) (*Job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -226,12 +310,16 @@ func (m *Manager) Jobs() []Status {
 	return out
 }
 
-// Cancel stops a job: a queued job is marked canceled and skipped by
-// the workers; a running job has its context cancelled and winds down
-// within one optimizer stage (between Monte-Carlo samples at the
-// finest). Cancelling a terminal job is a no-op.
+// Cancel stops a job: a queued job is marked canceled and its queue
+// slot freed immediately; a locally running job has its context
+// cancelled and winds down within one optimizer stage (between
+// Monte-Carlo samples at the finest); a remotely leased job has its
+// lease revoked, so the worker's next heartbeat or result post is
+// refused. Cancelling a terminal job is a no-op.
 func (m *Manager) Cancel(id string) error {
-	j, ok := m.Get(id)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
 	if !ok {
 		return ErrNotFound
 	}
@@ -239,99 +327,244 @@ func (m *Manager) Cancel(id string) error {
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateQueued:
-		j.state = StateCanceled
-		j.finished = time.Now()
-		j.started = j.finished
-		m.metrics.queued.Add(-1)
-		m.metrics.canceled.Add(1)
+		m.finishLocked(j, StateCanceled, "canceled")
 	case StateRunning:
 		if j.cancel != nil {
-			j.cancel() // the worker records the terminal state
+			j.cancel() // the local worker records the terminal state
+		} else if j.leaseID != "" {
+			m.metrics.leasesActive.Add(-1)
+			m.finishLocked(j, StateCanceled, "canceled")
 		}
 	}
 	return nil
 }
 
-// Close cancels every queued and running job and waits for the workers
-// to exit. Further submissions return ErrClosed.
+// Close cancels every queued, running and leased job and waits for the
+// workers and the sweeper to exit. Queued jobs are marked canceled so
+// no submission is ever stranded in StateQueued. Further submissions
+// return ErrClosed.
 func (m *Manager) Close() {
 	m.stop()
 	m.wg.Wait()
+	// The local pool has drained (running jobs recorded their canceled
+	// state before the workers exited); everything still non-terminal is
+	// a queued job nobody will run or a remote lease nobody may extend.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			m.finishLocked(j, StateCanceled, "canceled: manager closed")
+		case StateRunning:
+			if j.leaseID != "" {
+				m.metrics.leasesActive.Add(-1)
+			}
+			m.finishLocked(j, StateCanceled, "canceled: manager closed")
+		}
+		j.mu.Unlock()
+	}
 }
 
 // worker pulls jobs off the queue until the manager closes.
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
+		job := m.dequeue()
+		if job == nil {
+			return
+		}
+		m.run(job)
+	}
+}
+
+// dequeue blocks until a job is available for the local pool or the
+// manager closes (nil). When it takes a job and more remain, it chains
+// a wake so sibling workers drain the backlog too.
+func (m *Manager) dequeue() *Job {
+	for {
+		m.mu.Lock()
+		job := m.takeLocked()
+		more := m.pending.Len() > 0
+		m.mu.Unlock()
+		if job != nil {
+			if more {
+				m.wakeOne()
+			}
+			return job
+		}
 		select {
 		case <-m.ctx.Done():
-			return
-		case job := <-m.queue:
-			m.run(job)
+			return nil
+		case <-m.wake:
 		}
 	}
 }
 
-// run executes one job end to end.
+// sweeper periodically expires silent leases and applies the retention
+// TTL. Tests drive the same logic synchronously through sweep().
+func (m *Manager) sweeper() {
+	defer m.wg.Done()
+	interval := m.cfg.LeaseTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > 5*time.Second {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-t.C:
+			m.sweep(m.now())
+		}
+	}
+}
+
+// sweep expires leases whose deadline passed (requeueing the job while
+// retries remain, failing it after) and evicts terminal jobs past the
+// retention TTL.
+func (m *Manager) sweep(now time.Time) {
+	requeued := false
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateRunning && j.leaseID != "" && now.After(j.leaseDeadline) {
+			worker := j.worker
+			m.metrics.leaseExpiries.Add(1)
+			m.metrics.leasesActive.Add(-1)
+			m.metrics.workerStat(worker).Expiries.Add(1)
+			if j.requeues < m.cfg.MaxRetries {
+				j.requeues++
+				j.leaseID = ""
+				j.worker = ""
+				j.state = StateQueued
+				// Requeue at the front: the job has waited longest.
+				j.queueEl = m.pending.PushFront(j)
+				m.metrics.running.Add(-1)
+				m.metrics.queued.Add(1)
+				m.metrics.requeued.Add(1)
+				requeued = true
+			} else {
+				msg := fmt.Sprintf("lease expired (worker %q unresponsive) after %d attempts", worker, j.attempts)
+				m.finishLocked(j, StateFailed, msg)
+			}
+		}
+		j.mu.Unlock()
+	}
+	m.evictLocked(now)
+	m.mu.Unlock()
+	if requeued {
+		m.wakeOne()
+	}
+}
+
+// finishLocked moves a job to a terminal state: it frees the queue
+// slot, settles the gauges and counters, stores a done result in the
+// cache, and enrolls the job in the retention queue. Both m.mu and
+// j.mu must be held.
+func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
+	prev := j.state
+	j.state = state
+	j.err = errMsg
+	j.cancel = nil
+	j.leaseID = ""
+	j.finished = m.now()
+	if j.started.IsZero() {
+		j.started = j.finished
+	}
+	if j.queueEl != nil {
+		m.pending.Remove(j.queueEl)
+		j.queueEl = nil
+	}
+	switch prev {
+	case StateQueued:
+		m.metrics.queued.Add(-1)
+	case StateRunning:
+		m.metrics.running.Add(-1)
+	}
+	switch state {
+	case StateDone:
+		m.metrics.done.Add(1)
+		if j.result != nil {
+			m.cacheStoreLocked(j.hash, j.result)
+		}
+	case StateCanceled:
+		m.metrics.canceled.Add(1)
+	case StateFailed:
+		m.metrics.failed.Add(1)
+	}
+	m.order.PushBack(retained{job: j, finished: j.finished})
+	m.evictLocked(j.finished)
+}
+
+// evictLocked drops the oldest terminal jobs past the retention cap and
+// (when configured) past the retention TTL. Caller holds m.mu.
+func (m *Manager) evictLocked(now time.Time) {
+	for m.order.Len() > 0 {
+		front := m.order.Front()
+		r := front.Value.(retained)
+		overCap := m.cfg.RetainJobs >= 0 && m.order.Len() > m.cfg.RetainJobs
+		tooOld := m.cfg.RetainFor > 0 && now.Sub(r.finished) > m.cfg.RetainFor
+		if !overCap && !tooOld {
+			break
+		}
+		m.order.Remove(front)
+		delete(m.jobs, r.job.id)
+		m.metrics.jobsEvicted.Add(1)
+	}
+	m.metrics.jobsTracked.Store(int64(len(m.jobs)))
+}
+
+// run executes one job end to end on the local pool.
 func (m *Manager) run(job *Job) {
 	ctx, cancel := context.WithCancel(m.ctx)
 	defer cancel()
 
 	job.mu.Lock()
-	if job.state != StateQueued { // canceled while waiting
+	if job.state != StateQueued { // canceled between dequeue and here
 		job.mu.Unlock()
 		return
 	}
 	job.state = StateRunning
 	job.cancel = cancel
-	job.started = time.Now()
+	job.attempts++
+	job.started = m.now()
 	job.mu.Unlock()
 	m.metrics.queued.Add(-1)
 	m.metrics.running.Add(1)
 
 	result, err := m.execute(ctx, job)
 
-	finished := time.Now()
+	m.mu.Lock()
 	job.mu.Lock()
-	job.cancel = nil
-	job.finished = finished
-	wall := finished.Sub(job.started)
+	wall := m.now().Sub(job.started)
 	switch {
 	case err == nil:
-		job.state = StateDone
 		job.result = result
+		m.finishLocked(job, StateDone, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		job.state = StateCanceled
-		job.err = "canceled"
+		m.finishLocked(job, StateCanceled, "canceled")
 	default:
-		job.state = StateFailed
-		job.err = err.Error()
+		m.finishLocked(job, StateFailed, err.Error())
 	}
-	state := job.state
-	hash := job.hash
 	job.mu.Unlock()
+	m.mu.Unlock()
 
-	m.metrics.running.Add(-1)
 	m.metrics.busyNanos.Add(int64(wall))
 	m.metrics.wallNanos.Add(int64(wall))
-	switch state {
-	case StateDone:
-		m.metrics.done.Add(1)
-		m.cacheStore(hash, result)
-	case StateCanceled:
-		m.metrics.canceled.Add(1)
-	default:
-		m.metrics.failed.Add(1)
-	}
 }
 
-// cacheStore inserts a completed result into the LRU result cache,
-// evicting the least recently used entry past the configured cap.
-func (m *Manager) cacheStore(hash string, result *Result) {
+// cacheStoreLocked inserts a completed result into the LRU result
+// cache, evicting the least recently used entry past the configured
+// cap. Caller holds m.mu.
+func (m *Manager) cacheStoreLocked(hash string, result *Result) {
 	if m.cfg.CacheSize < 0 {
 		return
 	}
-	m.mu.Lock()
 	if el, ok := m.cache[hash]; ok {
 		el.Value.(*cacheEntry).res = result
 		m.lru.MoveToFront(el)
@@ -345,59 +578,21 @@ func (m *Manager) cacheStore(hash string, result *Result) {
 		}
 	}
 	m.metrics.cacheEntries.Store(int64(m.lru.Len()))
-	m.mu.Unlock()
 }
 
-// execute dispatches on the job kind.
+// execute runs the job through the shared execution path and folds the
+// run's reuse counters into the service metrics.
 func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
-	switch job.req.Kind {
-	case KindVerify:
-		n := job.req.Options.VerifySamples
-		if n == 0 {
-			n = 300
-		}
-		seed := job.req.Options.Seed
-		if seed == 0 {
-			seed = 20010618 // the optimizer's default stream
-		}
-		p := job.problem
-		d := p.InitialDesign()
-		zeroS := make([]float64, p.NumStat())
-		thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
-		if err != nil {
-			return nil, err
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		workers := job.req.Options.VerifyWorkers
-		if workers <= 0 {
-			workers = m.cfg.VerifyWorkers
-		}
-		mc, err := core.VerifyMCContext(ctx, p, d, thetaRes.PerSpec, n, seed, workers)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{Kind: KindVerify, Verification: report.JSONVerification(p, mc)}, nil
-
-	default: // KindOptimize
-		opts := job.req.Options.Core()
-		if opts.VerifyWorkers <= 0 {
-			opts.VerifyWorkers = m.cfg.VerifyWorkers
-		}
-		if opts.SweepWorkers <= 0 {
-			opts.SweepWorkers = m.cfg.SweepWorkers
-		}
-		opts.Progress = job.addProgress
-		opt, err := core.NewOptimizer(job.problem, opts)
-		if err != nil {
-			return nil, err
-		}
-		res, err := opt.RunContext(ctx)
-		if err != nil {
-			return nil, err
-		}
-		m.metrics.noteRun(res)
-		return &Result{Kind: KindOptimize, Optimization: report.JSONResult(res)}, nil
+	res, coreRes, err := Execute(ctx, job.problem, &job.req, ExecEnv{
+		VerifyWorkers: m.cfg.VerifyWorkers,
+		SweepWorkers:  m.cfg.SweepWorkers,
+		Progress:      job.addProgress,
+	})
+	if err != nil {
+		return nil, err
 	}
+	if coreRes != nil {
+		m.metrics.noteRun(coreRes)
+	}
+	return res, nil
 }

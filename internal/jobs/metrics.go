@@ -3,6 +3,8 @@ package jobs
 import (
 	"fmt"
 	"io"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,9 +28,23 @@ type Metrics struct {
 	cacheHits      atomic.Int64
 	cacheEvictions atomic.Int64 // result-cache LRU evictions
 	cacheEntries   atomic.Int64 // gauge: results currently cached
-	busyNanos      atomic.Int64 // total worker-occupied time
-	wallNanos      atomic.Int64 // total per-job wall time (== busyNanos today,
-	// kept separate so sharded/remote workers can diverge)
+	busyNanos      atomic.Int64 // total local-pool worker-occupied time
+	wallNanos      atomic.Int64 // total per-job wall time, local and remote
+
+	// Job-store retention (terminal jobs kept for status queries).
+	jobsTracked atomic.Int64 // gauge: jobs currently in the store
+	jobsEvicted atomic.Int64 // terminal jobs dropped by the retention policy
+
+	// Remote worker-pull protocol: claims granted, leases currently
+	// outstanding, silent-lease expiries and the requeues they caused.
+	claims        atomic.Int64
+	leasesActive  atomic.Int64 // gauge
+	leaseExpiries atomic.Int64
+	requeued      atomic.Int64
+
+	// Per-shard (per remote worker) counters, keyed by worker name.
+	wmu         sync.Mutex
+	workerStats map[string]*WorkerStat
 
 	// Per-evaluation reuse counters aggregated over completed
 	// optimization runs: the in-run memoization cache and the DC
@@ -74,6 +90,57 @@ func (m *Metrics) noteRun(res *core.Result) {
 	}
 }
 
+// WorkerStat aggregates one remote worker's shard of the pull protocol.
+type WorkerStat struct {
+	Claims    atomic.Int64
+	Done      atomic.Int64
+	Failed    atomic.Int64
+	Expiries  atomic.Int64
+	BusyNanos atomic.Int64
+}
+
+// workerStat returns (creating on first use) the named worker's shard.
+func (m *Metrics) workerStat(name string) *WorkerStat {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	if m.workerStats == nil {
+		m.workerStats = make(map[string]*WorkerStat)
+	}
+	ws := m.workerStats[name]
+	if ws == nil {
+		ws = &WorkerStat{}
+		m.workerStats[name] = ws
+	}
+	return ws
+}
+
+// WorkerStats snapshots the per-worker shards, keyed by worker name.
+func (m *Metrics) WorkerStats() map[string]*WorkerStat {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	out := make(map[string]*WorkerStat, len(m.workerStats))
+	for name, ws := range m.workerStats {
+		out[name] = ws
+	}
+	return out
+}
+
+// Claims returns the number of leases granted to remote workers.
+func (m *Metrics) Claims() int64 { return m.claims.Load() }
+
+// LeaseExpiries returns the number of silent leases expired.
+func (m *Metrics) LeaseExpiries() int64 { return m.leaseExpiries.Load() }
+
+// Requeued returns the number of jobs sent back to the queue by lease
+// expiry.
+func (m *Metrics) Requeued() int64 { return m.requeued.Load() }
+
+// JobsTracked returns the number of jobs currently in the store.
+func (m *Metrics) JobsTracked() int64 { return m.jobsTracked.Load() }
+
+// JobsEvicted returns the number of terminal jobs dropped by retention.
+func (m *Metrics) JobsEvicted() int64 { return m.jobsEvicted.Load() }
+
 // CacheEvictions returns the number of results dropped by the LRU cap.
 func (m *Metrics) CacheEvictions() int64 { return m.cacheEvictions.Load() }
 
@@ -112,6 +179,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_jobs_done_total %d\n", m.done.Load())
 	fmt.Fprintf(w, "specwised_jobs_failed_total %d\n", m.failed.Load())
 	fmt.Fprintf(w, "specwised_jobs_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "specwised_jobs_tracked %d\n", m.jobsTracked.Load())
+	fmt.Fprintf(w, "specwised_jobs_evicted_total %d\n", m.jobsEvicted.Load())
+	fmt.Fprintf(w, "specwised_jobs_requeued_total %d\n", m.requeued.Load())
+	fmt.Fprintf(w, "specwised_claims_total %d\n", m.claims.Load())
+	fmt.Fprintf(w, "specwised_leases_active %d\n", m.leasesActive.Load())
+	fmt.Fprintf(w, "specwised_lease_expiries_total %d\n", m.leaseExpiries.Load())
 	fmt.Fprintf(w, "specwised_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "specwised_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(w, "specwised_cache_entries %d\n", m.cacheEntries.Load())
@@ -137,5 +210,21 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_worker_utilization %.6f\n", m.Utilization())
 	fmt.Fprintf(w, "specwised_job_wall_seconds_total %.6f\n", wall)
 	fmt.Fprintf(w, "specwised_job_wall_seconds_avg %.6f\n", avg)
+	m.wmu.Lock()
+	names := make([]string, 0, len(m.workerStats))
+	for name := range m.workerStats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := m.workerStats[name]
+		fmt.Fprintf(w, "specwised_remote_worker_claims_total{worker=%q} %d\n", name, ws.Claims.Load())
+		fmt.Fprintf(w, "specwised_remote_worker_jobs_done_total{worker=%q} %d\n", name, ws.Done.Load())
+		fmt.Fprintf(w, "specwised_remote_worker_jobs_failed_total{worker=%q} %d\n", name, ws.Failed.Load())
+		fmt.Fprintf(w, "specwised_remote_worker_lease_expiries_total{worker=%q} %d\n", name, ws.Expiries.Load())
+		fmt.Fprintf(w, "specwised_remote_worker_busy_seconds_total{worker=%q} %.6f\n", name,
+			time.Duration(ws.BusyNanos.Load()).Seconds())
+	}
+	m.wmu.Unlock()
 	fmt.Fprintf(w, "specwised_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 }

@@ -93,6 +93,22 @@ type Result struct {
 	Perf           Perf              `json:"perf"`
 }
 
+// StripVolatile zeroes the perf fields that legitimately vary between
+// bit-identical runs: the wall-clock solver timings and the
+// scheduling-dependent cache-hit/dedup split (a lookup racing an
+// in-flight computation lands as a hit or a dedup depending on timing;
+// the miss count — one per unique simulation — stays deterministic).
+// Everything else in a Result is deterministic for a given (problem,
+// seed, options), so two runs of the same request — on the in-process
+// pool or on any remote worker — compare byte-equal after stripping.
+func (r *Result) StripVolatile() {
+	r.Perf.DCSolveNanos = 0
+	r.Perf.ACSolveNanos = 0
+	r.Perf.TranSolveNanos = 0
+	r.Perf.EvalCacheHits = 0
+	r.Perf.EvalCacheDeduped = 0
+}
+
 // num returns a pointer to v, or nil when v is not a finite number —
 // encoding/json rejects NaN and ±Inf, so they become absent fields.
 func num(v float64) *float64 {

@@ -1,13 +1,25 @@
 // Package server exposes the jobs subsystem over an HTTP JSON API — the
-// service face of the yield optimizer. Endpoints:
+// service face of the yield optimizer. Client endpoints:
 //
 //	POST   /v1/jobs             submit a job (202; body echoes id + state)
 //	GET    /v1/jobs             list job statuses, newest first
 //	GET    /v1/jobs/{id}        status + live progress trace
 //	GET    /v1/jobs/{id}/result final report (409 until the job is done)
-//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via context)
+//	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via context/lease)
 //	GET    /healthz             liveness probe
 //	GET    /metrics             plain-text counters (Prometheus exposition format)
+//
+// Worker-pull endpoints (the remote lease protocol of internal/jobs;
+// guarded by a bearer token when the server is built with
+// WithWorkerToken):
+//
+//	POST /v1/worker/claim               {"worker": "name"} → 200 lease | 204 no work
+//	POST /v1/worker/jobs/{id}/heartbeat {"lease": "..."} → 200 {"deadline": ...}
+//	POST /v1/worker/jobs/{id}/result    {"lease": "...", "result": {...}}
+//	POST /v1/worker/jobs/{id}/fail      {"lease": "...", "error": "..."}
+//
+// A lost lease (expired, canceled or superseded) answers 409 so the
+// worker abandons the job; an unknown job answers 404.
 //
 // Request body for POST /v1/jobs (see internal/jobs for the full schema):
 //
@@ -21,27 +33,48 @@
 package server
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
+	"time"
 
 	"specwise/internal/jobs"
 )
 
 // Server is the HTTP face of a jobs.Manager.
 type Server struct {
-	manager *jobs.Manager
-	mux     *http.ServeMux
+	manager     *jobs.Manager
+	mux         *http.ServeMux
+	workerToken string
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithWorkerToken requires `Authorization: Bearer <token>` on every
+// /v1/worker endpoint. An empty token leaves the worker API open (local
+// development and tests).
+func WithWorkerToken(token string) Option {
+	return func(s *Server) { s.workerToken = token }
 }
 
 // New builds the handler tree over a running manager.
-func New(m *jobs.Manager) *Server {
+func New(m *jobs.Manager, opts ...Option) *Server {
 	s := &Server{manager: m, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("POST /v1/worker/claim", s.workerAuth(s.workerClaim))
+	s.mux.HandleFunc("POST /v1/worker/jobs/{id}/heartbeat", s.workerAuth(s.workerHeartbeat))
+	s.mux.HandleFunc("POST /v1/worker/jobs/{id}/result", s.workerAuth(s.workerResult))
+	s.mux.HandleFunc("POST /v1/worker/jobs/{id}/fail", s.workerAuth(s.workerFail))
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
@@ -159,4 +192,129 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.manager.Metrics().WriteText(w)
+}
+
+// workerAuth gates the worker-pull endpoints behind the bearer token,
+// when one is configured.
+func (s *Server) workerAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.workerToken != "" {
+			got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+			if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(s.workerToken)) != 1 {
+				writeError(w, http.StatusUnauthorized, "invalid or missing worker token")
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// claimRequest identifies the polling worker.
+type claimRequest struct {
+	Worker string `json:"worker"`
+}
+
+func (s *Server) workerClaim(w http.ResponseWriter, r *http.Request) {
+	var req claimRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.Worker) == "" {
+		writeError(w, http.StatusBadRequest, "worker name required")
+		return
+	}
+	lease, err := s.manager.Claim(req.Worker)
+	switch {
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+	case lease == nil:
+		w.WriteHeader(http.StatusNoContent) // nothing queued; poll again
+	default:
+		writeJSON(w, http.StatusOK, lease)
+	}
+}
+
+// leaseBody carries the lease proof on heartbeat/result/fail posts.
+type leaseBody struct {
+	Lease  string       `json:"lease"`
+	Result *jobs.Result `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// heartbeatResponse returns the extended lease deadline.
+type heartbeatResponse struct {
+	Deadline time.Time `json:"deadline"`
+}
+
+// decodeLease parses the common worker POST body.
+func decodeLease(w http.ResponseWriter, r *http.Request) (leaseBody, bool) {
+	var body leaseBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return body, false
+	}
+	if body.Lease == "" {
+		writeError(w, http.StatusBadRequest, "lease id required")
+		return body, false
+	}
+	return body, true
+}
+
+// writeLeaseErr maps lease-layer errors onto status codes.
+func writeLeaseErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, "no such job")
+	case errors.Is(err, jobs.ErrLeaseLost):
+		writeError(w, http.StatusConflict, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) workerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeLease(w, r)
+	if !ok {
+		return
+	}
+	deadline, err := s.manager.Heartbeat(r.PathValue("id"), body.Lease)
+	if err != nil {
+		writeLeaseErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{Deadline: deadline})
+}
+
+func (s *Server) workerResult(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeLease(w, r)
+	if !ok {
+		return
+	}
+	if body.Result == nil {
+		writeError(w, http.StatusBadRequest, "result payload required")
+		return
+	}
+	if err := s.manager.Complete(r.PathValue("id"), body.Lease, body.Result); err != nil {
+		writeLeaseErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": string(jobs.StateDone)})
+}
+
+func (s *Server) workerFail(w http.ResponseWriter, r *http.Request) {
+	body, ok := decodeLease(w, r)
+	if !ok {
+		return
+	}
+	if body.Error == "" {
+		body.Error = "unspecified worker failure"
+	}
+	if err := s.manager.Fail(r.PathValue("id"), body.Lease, body.Error); err != nil {
+		writeLeaseErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": string(jobs.StateFailed)})
 }
