@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke profile check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke storesmoke profile check serve
 
 all: check
 
@@ -55,17 +55,25 @@ test:
 	$(GO) test ./...
 
 # The jobs, server and worker layers are the concurrency-heavy code
-# paths (queue, leases, heartbeats); the spice and wcd packages join
-# them because the optimizer evaluates circuits (and their shared
+# paths (queue, leases, heartbeats); the store joins them because the
+# WAL is appended from every mutation path; the spice and wcd packages
+# join because the optimizer evaluates circuits (and their shared
 # solver-stat counters) from parallel gradient workers.
 race:
 	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/worker/... \
-		./internal/core/... ./internal/spice/... ./internal/wcd/...
+		./internal/store/... ./internal/core/... ./internal/spice/... ./internal/wcd/...
 
 # End-to-end smoke of the remote pull-worker binary path: one
 # remote-only manager behind httptest, one pull-worker, one verify job.
 workersmoke: build
 	$(GO) test -run TestWorkerSmoke ./cmd/specwise-worker
+
+# End-to-end smoke of the durable control plane: a real specwised
+# process with -store, one finished job, SIGKILL, restart, and a
+# bit-identical recovered result. TestCrashRecoverySIGKILL in the same
+# package is the exhaustive version (runs under plain `make test`).
+storesmoke: build
+	$(GO) test -run TestStoreSmoke ./cmd/specwised
 
 vet:
 	$(GO) vet ./...
@@ -78,7 +86,7 @@ fmt:
 
 # Pre-merge gate. For hot-path changes, additionally run `make
 # bench-check` to catch >20% ns/op regressions against BENCH_core.json.
-check: build vet fmt test race workersmoke benchsmoke
+check: build vet fmt test race workersmoke storesmoke benchsmoke
 
 # Run the yield-optimization daemon locally.
 serve:

@@ -6,13 +6,23 @@
 //
 //	specwised [-addr :8080] [-workers N] [-queue N] \
 //	    [-worker-token T] [-lease-ttl 30s] [-remote-only] \
-//	    [-retain-jobs N] [-retain-for D]
+//	    [-retain-jobs N] [-retain-for D] \
+//	    [-store jobs.wal] [-snapshot-every N]
 //
 // Remote pull-workers (cmd/specwise-worker) claim jobs over the
 // /v1/worker lease endpoints; -worker-token gates that API,
 // -lease-ttl bounds how long a silent worker holds a job before it is
 // requeued, and -remote-only disables the in-process pool so every job
 // runs on remote workers.
+//
+// -store enables the durable control plane: every submission, lease
+// and result is journaled to the given single-file WAL before it is
+// acknowledged, and a restart recovers the full pre-crash state —
+// queued jobs re-enter the queue in submit order, finished results
+// re-warm the cache, and remote workers reattach to leases still
+// within their TTL. -snapshot-every bounds the journal by compacting
+// it into a snapshot after that many records. Without -store the
+// daemon runs in-memory only, exactly as before.
 //
 // Submit a job and read it back:
 //
@@ -23,8 +33,11 @@
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/metrics
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are
-// cancelled through their contexts and the listener drains.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// drains, and with a persistent store the queue and in-flight state are
+// journaled (interrupted local runs requeue with their retry budget
+// intact) before the store is synced and closed; without one, in-flight
+// jobs are cancelled through their contexts.
 package main
 
 import (
@@ -33,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -41,6 +55,7 @@ import (
 
 	"specwise/internal/jobs"
 	"specwise/internal/server"
+	"specwise/internal/store"
 )
 
 func main() {
@@ -61,9 +76,13 @@ func main() {
 		"max terminal jobs kept for status queries (0 = default 512, negative = unlimited)")
 	retainFor := flag.Duration("retain-for", 0,
 		"evict terminal jobs older than this (0 = no TTL sweep)")
+	storePath := flag.String("store", "",
+		"persistent job-store file (WAL + snapshots); empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 0,
+		"compact the store after this many journaled records (0 = default 1024, negative = never)")
 	flag.Parse()
 
-	manager := jobs.New(jobs.Config{
+	if err := run(*addr, *workerToken, *storePath, jobs.Config{
 		Workers:       *workers,
 		RemoteOnly:    *remoteOnly,
 		QueueSize:     *queue,
@@ -72,24 +91,53 @@ func main() {
 		LeaseTTL:      *leaseTTL,
 		RetainJobs:    *retainJobs,
 		RetainFor:     *retainFor,
-	})
+		SnapshotEvery: *snapshotEvery,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, workerToken, storePath string, cfg jobs.Config) error {
+	if storePath != "" {
+		st, err := store.Open(storePath, store.Options{})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+	}
+	manager, err := jobs.Open(cfg)
+	if err != nil {
+		return err
+	}
+	if storePath != "" {
+		if n := manager.Metrics().RecoveredJobs(); n > 0 {
+			log.Printf("recovered %d jobs from %s", n, storePath)
+		}
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           server.New(manager, server.WithWorkerToken(*workerToken)),
+		Handler:           server.New(manager, server.WithWorkerToken(workerToken)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	// An explicit listener (rather than ListenAndServe) so ":0" logs the
+	// actual port — the crash-recovery e2e and local smoke runs depend
+	// on scraping it.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("specwised listening on %s", ln.Addr())
+
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("specwised listening on %s", *addr)
+	go func() { errc <- srv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	case s := <-sig:
 		log.Printf("signal %v: shutting down", s)
@@ -98,6 +146,11 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
-		manager.Close()
+		// Shutdown (not Close): with a persistent store the queue and
+		// lease table stay journaled for the next boot, and interrupted
+		// local runs requeue instead of cancelling.
+		manager.Shutdown()
+		log.Printf("specwised stopped")
 	}
+	return nil
 }

@@ -208,18 +208,22 @@ type Status struct {
 // accessors take snapshots so HTTP handlers never race the worker.
 type Job struct {
 	id   string
+	seq  int // manager sequence number; journaled, restored on recovery
 	hash string
 	req  Request
 
-	problem *core.Problem // resolved at submit time
+	problem *core.Problem // resolved at submit time (or on recovery)
 
-	mu       sync.Mutex
-	state    State
-	err      string
-	cached   bool
-	cancel   func() // non-nil while running on the local pool
-	progress []ProgressEntry
-	result   *Result
+	mu     sync.Mutex
+	state  State
+	err    string
+	cached bool
+	cancel func() // non-nil while running on the local pool
+	// userCanceled marks a Cancel-initiated context cancellation, as
+	// opposed to a Shutdown drain (which requeues instead of settling).
+	userCanceled bool
+	progress     []ProgressEntry
+	result       *Result
 
 	// Queue membership: non-nil while the job waits in Manager.pending,
 	// removed eagerly on cancellation so the slot frees immediately.
@@ -228,6 +232,7 @@ type Job struct {
 	// Lease bookkeeping for remote pull-workers (empty for local runs).
 	worker        string
 	leaseID       string
+	leaseSeq      int // manager lease counter at grant time (journaled)
 	leaseDeadline time.Time
 	attempts      int // execution starts (local runs + remote claims)
 	requeues      int // lease expiries that sent the job back to the queue

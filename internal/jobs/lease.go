@@ -57,9 +57,16 @@ func (m *Manager) Claim(worker string) (*Lease, error) {
 		job.state = StateRunning
 		job.worker = worker
 		job.leaseID = fmt.Sprintf("lease-%06d", m.leaseSeq)
+		job.leaseSeq = m.leaseSeq
 		job.leaseDeadline = now.Add(m.cfg.LeaseTTL)
 		job.attempts++
 		job.started = now
+		// Journal the grant so a daemon restart within the TTL leaves the
+		// lease reattachable: the recovered job keeps this leaseID and
+		// deadline, and the worker's heartbeats and result post are honored
+		// instead of 404ing.
+		m.journal(&Record{Kind: RecLease, Job: job.id, Worker: worker, Lease: job.leaseID, //nolint:errcheck // degraded store: logged once
+			LeaseSeq: job.leaseSeq, Deadline: job.leaseDeadline, Attempts: job.attempts, Time: now})
 		lease := &Lease{
 			JobID:      job.id,
 			LeaseID:    job.leaseID,
@@ -94,6 +101,7 @@ func (m *Manager) Heartbeat(jobID, leaseID string) (time.Time, error) {
 		return time.Time{}, ErrLeaseLost
 	}
 	j.leaseDeadline = m.now().Add(m.cfg.LeaseTTL)
+	m.journal(&Record{Kind: RecHeartbeat, Job: jobID, Lease: leaseID, Deadline: j.leaseDeadline}) //nolint:errcheck // degraded store: logged once
 	return j.leaseDeadline, nil
 }
 

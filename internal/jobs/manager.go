@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specwise/internal/circuits"
@@ -70,6 +71,14 @@ type Config struct {
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
+	// Store persists every control-plane mutation and enables crash
+	// recovery on boot (use Open, not New, to surface recovery errors).
+	// nil or NullStore keeps the in-memory-only behavior. internal/store
+	// provides the durable single-file WAL+snapshot implementation.
+	Store Store
+	// SnapshotEvery compacts the store into a snapshot after this many
+	// journaled records (default 1024; negative disables compaction).
+	SnapshotEvery int
 
 	// clock overrides the time source for lease deadlines and retention
 	// sweeps (tests drive expiry with a fake clock). nil means time.Now.
@@ -104,6 +113,11 @@ func (c *Config) defaults() {
 	}
 	if c.Resolve == nil {
 		c.Resolve = ResolveProblem
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 1024
+	} else if c.SnapshotEvery < 0 {
+		c.SnapshotEvery = 0
 	}
 	if c.clock == nil {
 		c.clock = time.Now
@@ -143,6 +157,15 @@ type Manager struct {
 	wake    chan struct{} // cap 1: pending work for the local pool
 	metrics Metrics
 
+	// Persistence (see store.go and persist.go). persistent is false for
+	// the NullStore so hot paths skip record construction entirely.
+	store        Store
+	persistent   bool
+	appendsSince atomic.Int64 // records since the last snapshot
+	draining     atomic.Bool  // Shutdown in progress: requeue, don't cancel
+	down         atomic.Bool  // Close/Shutdown already ran
+	storeErrOnce sync.Once    // log store degradation once, not per record
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	pending  *list.List               // of *Job, FIFO; only StateQueued jobs
@@ -153,10 +176,15 @@ type Manager struct {
 	leaseSeq int
 }
 
-// cacheEntry is one completed result in the LRU result cache.
+// cacheEntry is one completed result in the LRU result cache. jobID
+// names the job whose completion stored the entry (snapshots reference
+// it instead of duplicating the result); warm marks entries restored by
+// recovery, so hits on them are attributable to the journal.
 type cacheEntry struct {
-	hash string
-	res  *Result
+	hash  string
+	res   *Result
+	jobID string
+	warm  bool
 }
 
 // retained is one terminal job in the retention queue; the finish time
@@ -167,7 +195,23 @@ type retained struct {
 }
 
 // New starts a manager with cfg.Workers workers. Call Close to stop.
+// It panics if recovery from cfg.Store fails; configurations with a
+// persistent store should prefer Open and handle the error.
 func New(cfg Config) *Manager {
+	m, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Open starts a manager, first recovering the control plane from
+// cfg.Store when one is configured: terminal jobs and their results are
+// restored (re-warming the result cache), queued jobs re-enter the
+// pending queue in submit order, and remote leases still within their
+// TTL stay reattachable. Call Close (or Shutdown, for a graceful
+// restart that preserves the queue) to stop.
+func Open(cfg Config) (*Manager, error) {
 	cfg.defaults()
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
@@ -181,15 +225,34 @@ func New(cfg Config) *Manager {
 		cache:   make(map[string]*list.Element),
 		lru:     list.New(),
 	}
+	m.store = cfg.Store
+	if m.store == nil {
+		m.store = NullStore{}
+	}
+	switch m.store.(type) {
+	case NullStore, *NullStore:
+	default:
+		m.persistent = true
+	}
 	m.metrics.start = time.Now()
 	m.metrics.workers = cfg.Workers
+	m.metrics.storeStats = m.store.Stats
+	if m.persistent {
+		if err := m.recover(); err != nil {
+			stop()
+			return nil, err
+		}
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	m.wg.Add(1)
 	go m.sweeper()
-	return m
+	if m.pending.Len() > 0 {
+		m.wakeOne()
+	}
+	return m, nil
 }
 
 // now reads the manager clock (time.Now unless a test injected a fake).
@@ -225,15 +288,25 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.seq++
 	job := &Job{
 		id:       fmt.Sprintf("job-%06d", m.seq),
+		seq:      m.seq,
 		hash:     hash,
 		req:      req,
 		problem:  p,
 		enqueued: m.now(),
 	}
 	if el, ok := m.cache[hash]; ok {
+		// Journal the submission before settling it from the cache, so
+		// replay sees the same submit→done sequence the caller was told.
+		if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: hash, Req: &job.req, Time: job.enqueued}); err != nil {
+			m.seq--
+			m.mu.Unlock()
+			return nil, fmt.Errorf("jobs: journaling submission: %w", err)
+		}
+		ent := el.Value.(*cacheEntry)
+		warm := ent.warm
 		m.lru.MoveToFront(el)
 		job.cached = true
-		job.result = el.Value.(*cacheEntry).res
+		job.result = ent.res
 		m.jobs[job.id] = job
 		job.mu.Lock()
 		m.finishLocked(job, StateDone, "")
@@ -242,6 +315,9 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		m.mu.Unlock()
 		m.metrics.submitted.Add(1)
 		m.metrics.cacheHits.Add(1)
+		if warm {
+			m.metrics.cacheWarmHits.Add(1)
+		}
 		return job, nil
 	}
 	if m.pending.Len() >= m.cfg.QueueSize {
@@ -249,6 +325,13 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		// leaves no orphan entry in the store.
 		m.mu.Unlock()
 		return nil, ErrQueueFull
+	}
+	// Journal before acknowledging: a submission that cannot be made
+	// durable is refused, never silently volatile.
+	if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: hash, Req: &job.req, Time: job.enqueued}); err != nil {
+		m.seq--
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: journaling submission: %w", err)
 	}
 	job.state = StateQueued
 	job.queueEl = m.pending.PushBack(job)
@@ -330,7 +413,11 @@ func (m *Manager) Cancel(id string) error {
 		m.finishLocked(j, StateCanceled, "canceled")
 	case StateRunning:
 		if j.cancel != nil {
-			j.cancel() // the local worker records the terminal state
+			// The local worker records the terminal state. userCanceled
+			// distinguishes this from a Shutdown drain, which also cancels
+			// the run context but must requeue instead of settling.
+			j.userCanceled = true
+			j.cancel()
 		} else if j.leaseID != "" {
 			m.metrics.leasesActive.Add(-1)
 			m.finishLocked(j, StateCanceled, "canceled")
@@ -342,15 +429,18 @@ func (m *Manager) Cancel(id string) error {
 // Close cancels every queued, running and leased job and waits for the
 // workers and the sweeper to exit. Queued jobs are marked canceled so
 // no submission is ever stranded in StateQueued. Further submissions
-// return ErrClosed.
+// return ErrClosed. For a graceful restart that keeps the queue and the
+// leases journaled for recovery instead, use Shutdown.
 func (m *Manager) Close() {
+	if m.down.Swap(true) {
+		return
+	}
 	m.stop()
 	m.wg.Wait()
 	// The local pool has drained (running jobs recorded their canceled
 	// state before the workers exited); everything still non-terminal is
 	// a queued job nobody will run or a remote lease nobody may extend.
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		switch j.state {
@@ -364,6 +454,8 @@ func (m *Manager) Close() {
 		}
 		j.mu.Unlock()
 	}
+	m.mu.Unlock()
+	m.store.Close() //nolint:errcheck // nothing actionable at teardown
 }
 
 // worker pulls jobs off the queue until the manager closes.
@@ -383,6 +475,14 @@ func (m *Manager) worker() {
 // a wake so sibling workers drain the backlog too.
 func (m *Manager) dequeue() *Job {
 	for {
+		// Stop taking work once the manager is stopping: a graceful drain
+		// requeues the interrupted job, and picking it straight back up
+		// would requeue it again forever.
+		select {
+		case <-m.ctx.Done():
+			return nil
+		default:
+		}
 		m.mu.Lock()
 		job := m.takeLocked()
 		more := m.pending.Len() > 0
@@ -420,6 +520,7 @@ func (m *Manager) sweeper() {
 			return
 		case <-t.C:
 			m.sweep(m.now())
+			m.maybeSnapshot()
 		}
 	}
 }
@@ -447,6 +548,7 @@ func (m *Manager) sweep(now time.Time) {
 				m.metrics.running.Add(-1)
 				m.metrics.queued.Add(1)
 				m.metrics.requeued.Add(1)
+				m.journal(&Record{Kind: RecRequeue, Job: j.id, Requeues: j.requeues, Attempts: j.attempts, Time: now}) //nolint:errcheck // degraded store: logged once
 				requeued = true
 			} else {
 				msg := fmt.Sprintf("lease expired (worker %q unresponsive) after %d attempts", worker, j.attempts)
@@ -480,6 +582,9 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 		m.pending.Remove(j.queueEl)
 		j.queueEl = nil
 	}
+	// Journal the settlement before the cache record it may cause, so
+	// replay settles the job first and the cache entry can reference it.
+	m.journal(settleRecord(j, state, j.worker, errMsg)) //nolint:errcheck // degraded store: logged once
 	switch prev {
 	case StateQueued:
 		m.metrics.queued.Add(-1)
@@ -490,7 +595,7 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 	case StateDone:
 		m.metrics.done.Add(1)
 		if j.result != nil {
-			m.cacheStoreLocked(j.hash, j.result)
+			m.cacheStoreLocked(j.hash, j.result, j.id)
 		}
 	case StateCanceled:
 		m.metrics.canceled.Add(1)
@@ -514,6 +619,7 @@ func (m *Manager) evictLocked(now time.Time) {
 		}
 		m.order.Remove(front)
 		delete(m.jobs, r.job.id)
+		m.journal(&Record{Kind: RecJobEvict, Job: r.job.id}) //nolint:errcheck // degraded store: logged once
 		m.metrics.jobsEvicted.Add(1)
 	}
 	m.metrics.jobsTracked.Store(int64(len(m.jobs)))
@@ -524,16 +630,22 @@ func (m *Manager) run(job *Job) {
 	ctx, cancel := context.WithCancel(m.ctx)
 	defer cancel()
 
+	// The start transition takes m.mu (not just job.mu) so the journal
+	// append cannot race a concurrent snapshot of the control plane.
+	m.mu.Lock()
 	job.mu.Lock()
 	if job.state != StateQueued { // canceled between dequeue and here
 		job.mu.Unlock()
+		m.mu.Unlock()
 		return
 	}
 	job.state = StateRunning
 	job.cancel = cancel
 	job.attempts++
 	job.started = m.now()
+	m.journal(&Record{Kind: RecStart, Job: job.id, Attempts: job.attempts, Time: job.started}) //nolint:errcheck // degraded store: logged once
 	job.mu.Unlock()
+	m.mu.Unlock()
 	m.metrics.queued.Add(-1)
 	m.metrics.running.Add(1)
 
@@ -547,7 +659,20 @@ func (m *Manager) run(job *Job) {
 		job.result = result
 		m.finishLocked(job, StateDone, "")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		m.finishLocked(job, StateCanceled, "canceled")
+		if m.draining.Load() && !job.userCanceled {
+			// Graceful drain: the daemon is restarting, not the user
+			// cancelling. Put the interrupted job back at the head of the
+			// queue, retry budget untouched, so recovery resumes it.
+			job.state = StateQueued
+			job.cancel = nil
+			job.started = time.Time{}
+			job.queueEl = m.pending.PushFront(job)
+			m.metrics.running.Add(-1)
+			m.metrics.queued.Add(1)
+			m.journal(&Record{Kind: RecRequeue, Job: job.id, Requeues: job.requeues, Attempts: job.attempts, Time: m.now()}) //nolint:errcheck // degraded store: logged once
+		} else {
+			m.finishLocked(job, StateCanceled, "canceled")
+		}
 	default:
 		m.finishLocked(job, StateFailed, err.Error())
 	}
@@ -560,20 +685,31 @@ func (m *Manager) run(job *Job) {
 
 // cacheStoreLocked inserts a completed result into the LRU result
 // cache, evicting the least recently used entry past the configured
-// cap. Caller holds m.mu.
-func (m *Manager) cacheStoreLocked(hash string, result *Result) {
+// cap. Insertions and evictions are journaled — the journal, not the
+// settlement records, is what drives the cache on replay, so a restart
+// never resurrects an evicted result. Caller holds m.mu.
+func (m *Manager) cacheStoreLocked(hash string, result *Result, jobID string) {
 	if m.cfg.CacheSize < 0 {
 		return
 	}
 	if el, ok := m.cache[hash]; ok {
-		el.Value.(*cacheEntry).res = result
+		ent := el.Value.(*cacheEntry)
+		if ent.res != result {
+			ent.warm = false // freshly recomputed, no longer a recovered entry
+		}
+		ent.res = result
+		ent.jobID = jobID
 		m.lru.MoveToFront(el)
+		m.journal(&Record{Kind: RecCacheEntry, Hash: hash, Job: jobID}) //nolint:errcheck // degraded store: logged once
 	} else {
-		m.cache[hash] = m.lru.PushFront(&cacheEntry{hash: hash, res: result})
+		m.cache[hash] = m.lru.PushFront(&cacheEntry{hash: hash, res: result, jobID: jobID})
+		m.journal(&Record{Kind: RecCacheEntry, Hash: hash, Job: jobID}) //nolint:errcheck // degraded store: logged once
 		for m.lru.Len() > m.cfg.CacheSize {
 			back := m.lru.Back()
+			ent := back.Value.(*cacheEntry)
 			m.lru.Remove(back)
-			delete(m.cache, back.Value.(*cacheEntry).hash)
+			delete(m.cache, ent.hash)
+			m.journal(&Record{Kind: RecCacheEvict, Hash: ent.hash}) //nolint:errcheck // degraded store: logged once
 			m.metrics.cacheEvictions.Add(1)
 		}
 	}

@@ -26,6 +26,7 @@ type Metrics struct {
 	failed         atomic.Int64
 	canceled       atomic.Int64
 	cacheHits      atomic.Int64
+	cacheWarmHits  atomic.Int64 // cache hits on entries restored by recovery
 	cacheEvictions atomic.Int64 // result-cache LRU evictions
 	cacheEntries   atomic.Int64 // gauge: results currently cached
 	busyNanos      atomic.Int64 // total local-pool worker-occupied time
@@ -41,6 +42,13 @@ type Metrics struct {
 	leasesActive  atomic.Int64 // gauge
 	leaseExpiries atomic.Int64
 	requeued      atomic.Int64
+
+	// Persistence: live store counters come from the store itself via
+	// storeStats (set once before any concurrency); the recovery figures
+	// are recorded by the boot-time replay.
+	storeStats         func() StoreStats
+	storeRecovered     atomic.Int64 // jobs restored by the last recovery
+	storeRecoveryNanos atomic.Int64 // wall time of the last recovery
 
 	// Per-shard (per remote worker) counters, keyed by worker name.
 	wmu         sync.Mutex
@@ -147,6 +155,14 @@ func (m *Metrics) CacheEvictions() int64 { return m.cacheEvictions.Load() }
 // CacheHits returns the number of submissions answered from the cache.
 func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
 
+// CacheWarmHits returns the number of cache hits served by entries the
+// boot-time recovery restored from the journal.
+func (m *Metrics) CacheWarmHits() int64 { return m.cacheWarmHits.Load() }
+
+// RecoveredJobs returns the number of jobs the last boot restored from
+// the persistent store.
+func (m *Metrics) RecoveredJobs() int64 { return m.storeRecovered.Load() }
+
 // Done returns the number of jobs finished successfully.
 func (m *Metrics) Done() int64 { return m.done.Load() }
 
@@ -186,8 +202,19 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_leases_active %d\n", m.leasesActive.Load())
 	fmt.Fprintf(w, "specwised_lease_expiries_total %d\n", m.leaseExpiries.Load())
 	fmt.Fprintf(w, "specwised_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "specwised_cache_warm_hits_total %d\n", m.cacheWarmHits.Load())
 	fmt.Fprintf(w, "specwised_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(w, "specwised_cache_entries %d\n", m.cacheEntries.Load())
+	var st StoreStats
+	if m.storeStats != nil {
+		st = m.storeStats()
+	}
+	fmt.Fprintf(w, "specwised_store_records_appended %d\n", st.Records)
+	fmt.Fprintf(w, "specwised_store_bytes %d\n", st.Bytes)
+	fmt.Fprintf(w, "specwised_store_snapshots %d\n", st.Snapshots)
+	fmt.Fprintf(w, "specwised_store_recovered_jobs %d\n", m.storeRecovered.Load())
+	fmt.Fprintf(w, "specwised_store_recovery_seconds %.6f\n",
+		time.Duration(m.storeRecoveryNanos.Load()).Seconds())
 	fmt.Fprintf(w, "specwised_evalcache_hits_total %d\n", m.evalCacheHits.Load())
 	fmt.Fprintf(w, "specwised_evalcache_misses_total %d\n", m.evalCacheMisses.Load())
 	fmt.Fprintf(w, "specwised_dc_warm_starts_total %d\n", m.warmStarts.Load())

@@ -1,0 +1,147 @@
+package jobs
+
+// The persistence contract of the control plane. Every state mutation
+// the manager performs — submissions, local starts, lease grants,
+// heartbeats, requeues, settlements, retention and cache evictions — is
+// journaled as one typed Record through a Store before the mutation is
+// acknowledged to the caller. On boot the manager replays the journal
+// to rebuild the exact pre-crash control plane: terminal jobs and their
+// results (which re-warm the content-hash result cache), the pending
+// queue in original submit order, and the remote-lease table, so a
+// worker that outlived the daemon can reattach to its lease instead of
+// being 404ed. internal/store provides the durable single-file
+// WAL+snapshot implementation; NullStore is the in-memory default.
+
+import "time"
+
+// RecordKind types a journaled control-plane mutation. The numeric
+// values are part of the on-disk format (they become the frame kind
+// byte) and must never be reused or renumbered.
+type RecordKind uint8
+
+// Journal record kinds.
+const (
+	// RecSubmit enrolls a job: ID, sequence number, content hash and the
+	// full request. The job starts in StateQueued.
+	RecSubmit RecordKind = 1
+	// RecStart marks a local-pool execution start.
+	RecStart RecordKind = 2
+	// RecLease grants a remote worker a lease on the job.
+	RecLease RecordKind = 3
+	// RecHeartbeat extends a lease's deadline.
+	RecHeartbeat RecordKind = 4
+	// RecRequeue returns a running job to the queue (lease expiry with
+	// retry budget left, or a graceful drain). Requeues and Attempts are
+	// absolute values, not increments.
+	RecRequeue RecordKind = 5
+	// RecDone settles a job successfully. Result is inline unless Cached
+	// is set, in which case the result is the cache entry under Hash at
+	// this point of the log.
+	RecDone RecordKind = 6
+	// RecFail settles a job with an error.
+	RecFail RecordKind = 7
+	// RecCancel settles a job as canceled.
+	RecCancel RecordKind = 8
+	// RecJobEvict drops a terminal job from the store (retention policy).
+	RecJobEvict RecordKind = 9
+	// RecCacheEvict drops one result-cache entry (LRU cap). Without this
+	// record a restart would resurrect evicted results and silently
+	// inflate the cache past its cap.
+	RecCacheEvict RecordKind = 10
+	// RecCacheEntry inserts or refreshes one result-cache entry. In the
+	// live journal it references the finished job whose result was just
+	// cached; in snapshots it may carry the result inline for entries
+	// that outlived their job's retention.
+	RecCacheEntry RecordKind = 11
+)
+
+// Record is one journaled control-plane mutation. Which fields are
+// meaningful depends on Kind; unused fields stay zero. Records are
+// encoded as JSON payloads inside the store's CRC-checked frames, so
+// the format is append-only extensible: new optional fields decode as
+// zero from old journals.
+type Record struct {
+	Kind RecordKind `json:"k"`
+	// Job is the subject job ID (all kinds except RecCacheEvict and
+	// snapshot RecCacheEntry records with inline results).
+	Job string `json:"job,omitempty"`
+	// Seq is the manager's job sequence number (RecSubmit).
+	Seq int `json:"seq,omitempty"`
+	// Hash is the request content hash (RecSubmit, cache records).
+	Hash string `json:"hash,omitempty"`
+	// Req is the full submission (RecSubmit).
+	Req *Request `json:"req,omitempty"`
+	// Worker names the executing remote worker (RecLease, settlements).
+	Worker string `json:"worker,omitempty"`
+	// Lease is the granted lease ID (RecLease, RecHeartbeat).
+	Lease string `json:"lease,omitempty"`
+	// LeaseSeq is the manager's lease counter at grant time (RecLease);
+	// recovery resumes the counter past the maximum seen.
+	LeaseSeq int `json:"leaseSeq,omitempty"`
+	// Attempts and Requeues are absolute counters (RecStart, RecLease,
+	// RecRequeue, settlements).
+	Attempts int `json:"attempts,omitempty"`
+	Requeues int `json:"requeues,omitempty"`
+	// Cached marks a submission settled from the result cache (RecDone).
+	Cached bool `json:"cached,omitempty"`
+	// Err is the failure or cancellation message (RecFail, RecCancel).
+	Err string `json:"err,omitempty"`
+	// Time is the event time: enqueue (RecSubmit), run start (RecStart,
+	// RecLease), requeue (RecRequeue) or settlement (terminal kinds).
+	Time time.Time `json:"t,omitempty"`
+	// Started preserves the run start on terminal records so restored
+	// statuses keep their wall-clock accounting.
+	Started time.Time `json:"started,omitempty"`
+	// Deadline is the lease expiry (RecLease, RecHeartbeat).
+	Deadline time.Time `json:"deadline,omitempty"`
+	// Result is the settlement payload (RecDone) or an inline cache
+	// entry in snapshots (RecCacheEntry).
+	Result *Result `json:"result,omitempty"`
+}
+
+// Store persists the control plane. Append must be durable when it
+// returns (implementations may offer a relaxed mode for tests); Replay
+// streams every surviving record in append order; Compact atomically
+// replaces the journal with the given snapshot records — the minimal
+// sequence that rebuilds the current state — so the file stays bounded.
+// All methods must be safe for concurrent use, though the manager
+// serializes Append and Compact under its own lock.
+type Store interface {
+	Append(rec *Record) error
+	Replay(fn func(*Record) error) error
+	Compact(recs []*Record) error
+	Stats() StoreStats
+	Close() error
+}
+
+// StoreStats are the cumulative persistence counters surfaced on
+// /metrics as specwised_store_*.
+type StoreStats struct {
+	// Records is the total number of records written (appends plus
+	// snapshot rewrites).
+	Records int64
+	// Bytes is the total number of bytes written.
+	Bytes int64
+	// Snapshots counts compactions.
+	Snapshots int64
+}
+
+// NullStore is the default in-memory mode: every record is discarded
+// and nothing survives a restart. It lets the manager journal
+// unconditionally without branching on persistence being enabled.
+type NullStore struct{}
+
+// Append discards the record.
+func (NullStore) Append(*Record) error { return nil }
+
+// Replay replays nothing.
+func (NullStore) Replay(func(*Record) error) error { return nil }
+
+// Compact discards the snapshot.
+func (NullStore) Compact([]*Record) error { return nil }
+
+// Stats reports zeros.
+func (NullStore) Stats() StoreStats { return StoreStats{} }
+
+// Close is a no-op.
+func (NullStore) Close() error { return nil }

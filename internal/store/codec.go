@@ -1,0 +1,106 @@
+package store
+
+// The on-disk record codec: length-prefixed, CRC-checked frames in a
+// single append-only file.
+//
+// File layout:
+//
+//	offset 0: 8-byte magic "SPWSLOG1"
+//	then:     frames, back to back
+//
+// Frame layout (all integers little-endian):
+//
+//	u32  payload length n
+//	u8   kind (jobs.RecordKind)
+//	n×u8 payload (JSON-encoded jobs.Record)
+//	u32  CRC-32C over kind ‖ payload
+//
+// A frame is valid iff it is complete and its checksum matches. The
+// scanner stops at the first invalid frame: on open, everything from
+// that offset on is a torn tail (a crash mid-append) and is truncated.
+// Scanning never panics on arbitrary input — the fuzz targets in
+// fuzz_test.go hold it to that.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+const (
+	// frameOverhead is the fixed per-frame cost: length, kind, CRC.
+	frameOverhead = 4 + 1 + 4
+	// maxPayload rejects absurd lengths so a corrupt length prefix reads
+	// as a torn tail instead of a multi-gigabyte allocation.
+	maxPayload = 1 << 28
+)
+
+// fileMagic identifies (and versions) a specwise store file.
+var fileMagic = []byte("SPWSLOG1")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete or checksum-damaged frame — the scan
+// boundary, not a reportable error.
+var errTorn = errors.New("store: torn or corrupt frame")
+
+// frameCRC digests kind ‖ payload.
+func frameCRC(kind byte, payload []byte) uint32 {
+	crc := crc32.Update(0, castagnoli, []byte{kind})
+	return crc32.Update(crc, castagnoli, payload)
+}
+
+// appendFrame appends one encoded frame to dst and returns the
+// extended slice.
+func appendFrame(dst []byte, kind byte, payload []byte) []byte {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = kind
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload...)
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], frameCRC(kind, payload))
+	return append(dst, sum[:]...)
+}
+
+// nextFrame decodes the frame at the start of b, returning the kind,
+// the payload (aliasing b) and the total encoded size. errTorn means b
+// does not start with a complete, checksum-valid frame.
+func nextFrame(b []byte) (kind byte, payload []byte, size int, err error) {
+	if len(b) < frameOverhead {
+		return 0, nil, 0, errTorn
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n > maxPayload || uint64(n) > uint64(len(b)-frameOverhead) {
+		return 0, nil, 0, errTorn
+	}
+	kind = b[4]
+	payload = b[5 : 5+n]
+	want := binary.LittleEndian.Uint32(b[5+n : 5+n+4])
+	if frameCRC(kind, payload) != want {
+		return 0, nil, 0, errTorn
+	}
+	return kind, payload, int(frameOverhead + n), nil
+}
+
+// scanFrames walks b frame by frame, invoking fn (when non-nil) per
+// valid frame, and returns the length of the valid prefix — the torn-
+// tail truncation point. A nil fn just measures. Errors returned by fn
+// abort the scan and are propagated; frame corruption is not an error,
+// it simply ends the valid prefix.
+func scanFrames(b []byte, fn func(kind byte, payload []byte) error) (int, error) {
+	valid := 0
+	for valid < len(b) {
+		kind, payload, size, err := nextFrame(b[valid:])
+		if err != nil {
+			break
+		}
+		if fn != nil {
+			if err := fn(kind, payload); err != nil {
+				return valid, err
+			}
+		}
+		valid += size
+	}
+	return valid, nil
+}

@@ -1,0 +1,264 @@
+// Package store is the durable control-plane store behind the
+// jobs.Store interface: a single-file append-only WAL of CRC-checked,
+// length-prefixed records with periodic compacting snapshots.
+//
+// Durability model: Append fsyncs before returning (unless Options.
+// NoSync relaxes it for tests), so every acknowledged control-plane
+// mutation is on disk when the caller proceeds — a SIGKILL loses at
+// most the frame being written, which the next Open detects by CRC and
+// truncates as a torn tail. Compact rewrites the file as a snapshot
+// (the minimal record sequence that rebuilds the current state) via
+// write-temp → fsync → rename → fsync-dir, so a crash mid-compaction
+// leaves either the old journal or the new snapshot, never a mix.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"specwise/internal/jobs"
+)
+
+// Options tunes a store file.
+type Options struct {
+	// NoSync skips the per-append fsync. Appends then survive a process
+	// crash (the OS still has the pages) but not a machine crash; tests
+	// use it to keep fast suites fast.
+	NoSync bool
+}
+
+// File is the single-file WAL+snapshot store. It implements jobs.Store.
+type File struct {
+	mu   sync.Mutex
+	path string
+	opts Options
+	f    *os.File
+	size int64 // validated file length: header + intact frames
+
+	// Cumulative counters for Stats.
+	records   int64
+	bytes     int64
+	snapshots int64
+}
+
+var _ jobs.Store = (*File)(nil)
+
+var errClosed = errors.New("store: closed")
+
+// Open opens (creating if absent) the store file at path, validates the
+// header, and truncates any torn tail left by a crash mid-append. The
+// surviving records are then available through Replay.
+func Open(path string, opts Options) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &File{path: path, opts: opts, f: f}
+	if err := s.init(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// init writes the header into an empty file, or validates an existing
+// one and finds the torn-tail truncation point.
+func (s *File) init() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.path, err)
+	}
+	if info.Size() == 0 {
+		if _, err := s.f.Write(fileMagic); err != nil {
+			return fmt.Errorf("store: writing header: %w", err)
+		}
+		if err := s.sync(); err != nil {
+			return err
+		}
+		s.size = int64(len(fileMagic))
+		s.bytes = int64(len(fileMagic))
+		return nil
+	}
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	if len(data) < len(fileMagic) || !bytes.Equal(data[:len(fileMagic)], fileMagic) {
+		return fmt.Errorf("store: %s is not a specwise store (bad magic)", s.path)
+	}
+	valid, _ := scanFrames(data[len(fileMagic):], nil)
+	end := int64(len(fileMagic) + valid)
+	if end < info.Size() {
+		// Torn tail: a crash interrupted the last append (or the file was
+		// damaged from that point on). Everything before it is intact.
+		if err := s.f.Truncate(end); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", s.path, err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync after truncate: %w", err)
+		}
+	}
+	s.size = end
+	return nil
+}
+
+// sync flushes the file unless the store runs relaxed.
+func (s *File) sync() error {
+	if s.opts.NoSync {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", s.path, err)
+	}
+	return nil
+}
+
+// Append journals one record: encode, frame, write, fsync. The record
+// is durable when Append returns nil.
+func (s *File) Append(rec *jobs.Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	frame := appendFrame(make([]byte, 0, len(payload)+frameOverhead), byte(rec.Kind), payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if err := s.sync(); err != nil {
+		return err
+	}
+	s.size += int64(len(frame))
+	s.records++
+	s.bytes += int64(len(frame))
+	return nil
+}
+
+// Replay streams every intact record to fn in append order. Frames that
+// passed the CRC but fail to decode abort the replay with an error —
+// checksummed bytes that do not parse mean a format bug or version
+// mismatch, which must fail loudly rather than silently drop state.
+func (s *File) Replay(fn func(*jobs.Record) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	data := make([]byte, s.size-int64(len(fileMagic)))
+	if _, err := s.f.ReadAt(data, int64(len(fileMagic))); err != nil {
+		return fmt.Errorf("store: reading %s for replay: %w", s.path, err)
+	}
+	_, err := scanFrames(data, func(kind byte, payload []byte) error {
+		var rec jobs.Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("store: undecodable record (kind %d): %w", kind, err)
+		}
+		if rec.Kind != jobs.RecordKind(kind) {
+			return fmt.Errorf("store: frame kind %d disagrees with record kind %d", kind, rec.Kind)
+		}
+		return fn(&rec)
+	})
+	return err
+}
+
+// Compact atomically replaces the journal with the given snapshot
+// records. The new file is fully written and fsynced under a temporary
+// name before the rename, so a crash at any point leaves a valid store.
+func (s *File) Compact(recs []*jobs.Record) error {
+	buf := append([]byte(nil), fileMagic...)
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: encoding snapshot record: %w", err)
+		}
+		buf = appendFrame(buf, byte(rec.Kind), payload)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return errClosed
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating %s: %w", tmpPath, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: fsync snapshot: %w", err)
+		}
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if !s.opts.NoSync {
+		syncDir(filepath.Dir(s.path))
+	}
+	// The old handle points at the unlinked inode; switch to the new one.
+	s.f.Close()
+	s.f = tmp
+	s.size = int64(len(buf))
+	s.records += int64(len(recs))
+	s.bytes += int64(len(buf))
+	s.snapshots++
+	return nil
+}
+
+// syncDir makes a rename durable on filesystems that require a
+// directory fsync; failure is non-fatal (the rename itself succeeded).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck // best effort; some filesystems refuse dir fsync
+	d.Close()
+}
+
+// Stats returns the cumulative persistence counters.
+func (s *File) Stats() jobs.StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return jobs.StoreStats{Records: s.records, Bytes: s.bytes, Snapshots: s.snapshots}
+}
+
+// Size returns the current validated file size in bytes.
+func (s *File) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Close fsyncs and closes the file. Further operations return an error.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"specwise/internal/jobs"
+)
+
+func openTemp(t *testing.T) (*File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "jobs.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, path
+}
+
+func rec(kind jobs.RecordKind, job string) *jobs.Record {
+	return &jobs.Record{Kind: kind, Job: job}
+}
+
+// replayAll collects every surviving record.
+func replayAll(t *testing.T, s *File) []*jobs.Record {
+	t.Helper()
+	var out []*jobs.Record
+	if err := s.Replay(func(r *jobs.Record) error {
+		cp := *r
+		out = append(out, &cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	s, path := openTemp(t)
+	want := []*jobs.Record{
+		{Kind: jobs.RecSubmit, Job: "job-000001", Seq: 1, Hash: "h1",
+			Req: &jobs.Request{Kind: jobs.KindOptimize, Circuit: "ota"}},
+		{Kind: jobs.RecStart, Job: "job-000001", Attempts: 1},
+		{Kind: jobs.RecDone, Job: "job-000001",
+			Result: &jobs.Result{Kind: jobs.KindOptimize}},
+	}
+	for _, r := range want {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := replayAll(t, s)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || got[i].Job != want[i].Job {
+			t.Errorf("record %d = %+v, want kind %d job %q", i, got[i], want[i].Kind, want[i].Job)
+		}
+	}
+	if got[0].Req == nil || got[0].Req.Circuit != "ota" {
+		t.Errorf("submit record lost its request: %+v", got[0].Req)
+	}
+
+	// Reopen: the same records must survive.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := replayAll(t, s2); len(got) != len(want) {
+		t.Fatalf("after reopen: %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 3; i++ {
+		if err := s.Append(rec(jobs.RecStart, "job-000001")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: half a frame of garbage at the end.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00, 0x00, 0x02, 'p', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer s2.Close()
+	if got := replayAll(t, s2); len(got) != 3 {
+		t.Fatalf("records after torn-tail open = %d, want 3", len(got))
+	}
+	// The tail is gone from disk too, and appends continue cleanly.
+	if err := s2.Append(rec(jobs.RecCancel, "job-000001")); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, s2); len(got) != 4 {
+		t.Fatalf("records after post-truncate append = %d, want 4", len(got))
+	}
+}
+
+func TestCorruptMiddleDropsTail(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 4; i++ {
+		if err := s.Append(rec(jobs.RecStart, "job-000001")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size := s.Size()
+	s.Close()
+
+	// Flip one payload byte of the third record: it and everything after
+	// must be discarded (the WAL contract: the valid prefix survives).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := (int(size) - len(fileMagic)) / 4
+	data[len(fileMagic)+2*frame+6] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := replayAll(t, s2); len(got) != 2 {
+		t.Fatalf("records after mid-file corruption = %d, want 2", len(got))
+	}
+}
+
+func TestBadMagicRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-store")
+	if err := os.WriteFile(path, []byte("definitely not a WAL file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("open of non-store file: err = %v, want bad-magic error", err)
+	}
+}
+
+func TestCompactReplacesJournal(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(rec(jobs.RecHeartbeat, "job-000001")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Size()
+	snap := []*jobs.Record{
+		rec(jobs.RecSubmit, "job-000001"),
+		rec(jobs.RecDone, "job-000001"),
+	}
+	if err := s.Compact(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, s); len(got) != 2 || got[0].Kind != jobs.RecSubmit {
+		t.Fatalf("post-compact replay = %d records (first kind %d), want the 2 snapshot records",
+			len(got), got[0].Kind)
+	}
+	if s.Size() >= before {
+		t.Errorf("compaction did not shrink the file: %d -> %d bytes", before, s.Size())
+	}
+	if st := s.Stats(); st.Snapshots != 1 {
+		t.Errorf("snapshots counter = %d, want 1", st.Snapshots)
+	}
+	// Appends continue against the new file, and both survive a reopen.
+	if err := s.Append(rec(jobs.RecCacheEvict, "")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := replayAll(t, s2); len(got) != 3 {
+		t.Fatalf("records after compact+append+reopen = %d, want 3", len(got))
+	}
+	// No stray temp file left behind.
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Errorf("compaction temp file left behind (stat err %v)", err)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s, _ := openTemp(t)
+	if err := s.Append(rec(jobs.RecStart, "j")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(jobs.RecStart, "j")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != 2 {
+		t.Errorf("records = %d, want 2", st.Records)
+	}
+	if st.Bytes <= int64(len(fileMagic)) {
+		t.Errorf("bytes = %d, want > header", st.Bytes)
+	}
+}
+
+func TestKindMismatchIsAnError(t *testing.T) {
+	s, _ := openTemp(t)
+	// Hand-craft a frame whose frame kind disagrees with the JSON kind.
+	payload := []byte(`{"k":6,"job":"job-000001"}`)
+	frame := appendFrame(nil, byte(jobs.RecSubmit), payload)
+	s.mu.Lock()
+	if _, err := s.f.WriteAt(frame, s.size); err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.size += int64(len(frame))
+	s.mu.Unlock()
+	if err := s.Replay(func(*jobs.Record) error { return nil }); err == nil {
+		t.Fatal("kind mismatch replayed without error")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s, _ := openTemp(t)
+	s.Close()
+	if err := s.Append(rec(jobs.RecStart, "j")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

@@ -209,12 +209,21 @@ func heartbeatLoop(jctx context.Context, cfg *Config, lease *jobs.Lease, cancel 
 	}
 }
 
-// report posts the terminal verdict with bounded retry + exponential
-// backoff on transient errors; a 409 means the lease is gone and the
-// verdict is dropped.
+// report posts the terminal verdict, retrying transient failures with
+// exponential backoff for up to one lease TTL. The window is what makes
+// lease reattach work end to end: a daemon restarting under a
+// persistent store is unreachable for a moment, and a worker that keeps
+// retrying within the TTL lands its result on the recovered lease
+// instead of forcing a requeue and a re-execution. A 409 means the
+// lease is definitively gone and the verdict is dropped.
 func report(ctx context.Context, cfg *Config, lease *jobs.Lease, verb string, body leasePost) {
+	window := time.Duration(lease.TTLSeconds * float64(time.Second))
+	if window < 2*time.Second {
+		window = 2 * time.Second
+	}
+	deadline := time.Now().Add(window)
 	backoff := cfg.Backoff
-	for attempt := 1; attempt <= 5; attempt++ {
+	for attempt := 1; ; attempt++ {
 		status, err := post(ctx, cfg, "/v1/worker/jobs/"+lease.JobID+"/"+verb, body, nil)
 		switch {
 		case err == nil && status < 300:
@@ -222,6 +231,9 @@ func report(ctx context.Context, cfg *Config, lease *jobs.Lease, verb string, bo
 		case err == nil && !transientStatus(status):
 			cfg.Logf("%s: %s rejected with %d, dropping", lease.JobID, verb, status)
 			return
+		}
+		if time.Now().After(deadline) {
+			break
 		}
 		cfg.Logf("%s: posting %s failed (attempt %d, status %d, err %v); retrying in %v",
 			lease.JobID, verb, attempt, status, err, backoff)
