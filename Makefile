@@ -4,14 +4,17 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke storesmoke profile check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke storesmoke batchsmoke profile check serve
 
 all: check
 
 # Benchmarks that define the performance contract of the hot path. The
 # core table benchmarks run once each (they are full optimizations, not
 # microbenchmarks) and the parsed numbers land in BENCH_core.json.
-BENCH_PATTERN ?= 'Table[13456]'
+# SweepOTA16 is the batch-engine contract: the shared-evaluation-cache
+# run must answer >=30% of would-be simulator calls cross-job (it fails
+# the bench otherwise).
+BENCH_PATTERN ?= 'Table[13456]|SweepOTA16'
 bench: build
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchreport -o BENCH_core.json \
@@ -61,7 +64,8 @@ test:
 # solver-stat counters) from parallel gradient workers.
 race:
 	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/worker/... \
-		./internal/store/... ./internal/core/... ./internal/spice/... ./internal/wcd/...
+		./internal/store/... ./internal/core/... ./internal/spice/... ./internal/wcd/... \
+		./internal/evalcache/...
 
 # End-to-end smoke of the remote pull-worker binary path: one
 # remote-only manager behind httptest, one pull-worker, one verify job.
@@ -75,6 +79,13 @@ workersmoke: build
 storesmoke: build
 	$(GO) test -run TestStoreSmoke ./cmd/specwised
 
+# End-to-end smoke of the batch sweep engine: an 8-member OTA seed sweep
+# submitted as one batch to a remote-only daemon, drained by a
+# pull-worker with its process-local shared evaluation cache; asserts
+# cross-job cache hits in the batch effort rollup.
+batchsmoke: build
+	$(GO) test -run TestBatchSmoke ./cmd/specwise-worker
+
 vet:
 	$(GO) vet ./...
 
@@ -86,7 +97,7 @@ fmt:
 
 # Pre-merge gate. For hot-path changes, additionally run `make
 # bench-check` to catch >20% ns/op regressions against BENCH_core.json.
-check: build vet fmt test race workersmoke storesmoke benchsmoke
+check: build vet fmt test race workersmoke storesmoke batchsmoke benchsmoke
 
 # Run the yield-optimization daemon locally.
 serve:

@@ -13,10 +13,12 @@ package specwise
 import (
 	"math"
 	"testing"
+	"time"
 
 	"specwise/internal/circuits"
 	"specwise/internal/coord"
 	"specwise/internal/core"
+	"specwise/internal/jobs"
 	"specwise/internal/linmodel"
 	"specwise/internal/paper"
 	"specwise/internal/rng"
@@ -243,6 +245,70 @@ func BenchmarkFig5YieldOverDesign(b *testing.B) {
 
 // --- Ablation and micro benchmarks (design-choice candidates from
 // DESIGN.md §5) ---
+
+// BenchmarkSweepOTA16: a 16-seed OTA optimization sweep through the
+// batch engine with a pinned worst-case seed (wcSeed), run once with
+// per-job evaluation caches ("isolated") and once with the
+// manager-scoped shared cache ("shared"). The sweep members differ only
+// in their sampling streams, so their worst-case searches and
+// finite-difference linearizations probe identical points; the shared
+// run answers those repeats from siblings' entries instead of the
+// simulator. cross-hit-% is the fraction of would-be simulator calls
+// (cross hits / (cross hits + misses)) served cross-job; per-member
+// results stay bit-identical either way (TestSharedEvalCacheBitIdentity).
+func BenchmarkSweepOTA16(b *testing.B) {
+	sweep := func() []jobs.Request {
+		reqs := make([]jobs.Request, 16)
+		for i := range reqs {
+			reqs[i] = jobs.Request{
+				Kind:    jobs.KindOptimize,
+				Circuit: "ota",
+				Options: jobs.RunOptions{
+					ModelSamples:  2000,
+					VerifySamples: 50,
+					MaxIterations: 1,
+					Seed:          jobs.Seed(uint64(i + 1)),
+					WCSeed:        jobs.Seed(7),
+				},
+			}
+		}
+		return reqs
+	}
+	run := func(b *testing.B, shared bool) {
+		for i := 0; i < b.N; i++ {
+			m := jobs.New(jobs.Config{Workers: 4, SharedEvalCache: shared})
+			batch, err := m.SubmitBatch(sweep())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st jobs.BatchStatus
+			for {
+				st, err = m.BatchStatus(batch.ID())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.State.Terminal() {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if st.State != jobs.StateDone {
+				b.Fatalf("sweep ended %s: %d failed", st.State, st.Failed)
+			}
+			cross := float64(st.Effort.EvalCacheCrossHits)
+			misses := float64(st.Effort.EvalCacheMisses)
+			rate := 100 * cross / (cross + misses)
+			b.ReportMetric(float64(st.Effort.Simulations), "simulations")
+			b.ReportMetric(rate, "cross-hit-%")
+			if shared && rate < 30 {
+				b.Fatalf("cross-job hit rate %.1f%%, want >= 30%%", rate)
+			}
+			m.Close()
+		}
+	}
+	b.Run("isolated", func(b *testing.B) { run(b, false) })
+	b.Run("shared", func(b *testing.B) { run(b, true) })
+}
 
 // BenchmarkAblationMirrorSpecs compares model construction with and
 // without the Eq. 21–22 mirror models on the quadratic CMRR spec.

@@ -43,6 +43,10 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	maxJobs := flag.Int("max-jobs", 0, "exit after this many executed jobs (0 = run forever)")
+	sharedEvalCache := flag.Bool("shared-eval-cache", false,
+		"share one local evaluation cache across jobs claimed on the same problem (bit-identical results)")
+	evalCacheSize := flag.Int("eval-cache-size", 0,
+		"shared evaluation-cache capacity in entries (0 = default; requires -shared-eval-cache)")
 	flag.Parse()
 
 	if *name == "" {
@@ -58,14 +62,16 @@ func main() {
 
 	log.Printf("specwise-worker %s polling %s", *name, *server)
 	err := worker.Run(ctx, worker.Config{
-		Server:        *server,
-		Token:         *token,
-		Name:          *name,
-		Poll:          *poll,
-		VerifyWorkers: *verifyWorkers,
-		SweepWorkers:  *sweepWorkers,
-		MaxJobs:       *maxJobs,
-		Logf:          log.Printf,
+		Server:          *server,
+		Token:           *token,
+		Name:            *name,
+		Poll:            *poll,
+		VerifyWorkers:   *verifyWorkers,
+		SweepWorkers:    *sweepWorkers,
+		MaxJobs:         *maxJobs,
+		SharedEvalCache: *sharedEvalCache,
+		EvalCacheSize:   *evalCacheSize,
+		Logf:            log.Printf,
 	})
 	switch {
 	case err == nil || errors.Is(err, context.Canceled):

@@ -49,3 +49,64 @@ func TestWorkerSmoke(t *testing.T) {
 		t.Fatalf("bad verification payload: %+v", res)
 	}
 }
+
+// TestBatchSmoke is the `make batchsmoke` target: an 8-member OTA seed
+// sweep submitted as one batch to a remote-only daemon, drained by a
+// single pull-worker running its process-local shared evaluation cache.
+// The pinned wcSeed makes the members' worst-case searches probe
+// identical points, so later members must hit entries earlier members
+// stored — the batch effort rollup has to show cross-job cache hits.
+func TestBatchSmoke(t *testing.T) {
+	m := jobs.New(jobs.Config{RemoteOnly: true, LeaseTTL: 30 * time.Second})
+	defer m.Close()
+	ts := httptest.NewServer(server.New(m, server.WithWorkerToken("smoke")))
+	defer ts.Close()
+
+	reqs := make([]jobs.Request, 8)
+	for i := range reqs {
+		reqs[i] = jobs.Request{
+			Kind:    jobs.KindOptimize,
+			Circuit: "ota",
+			Options: jobs.RunOptions{
+				ModelSamples:  500,
+				VerifySamples: 30,
+				MaxIterations: 1,
+				Seed:          jobs.Seed(uint64(i + 1)),
+				WCSeed:        jobs.Seed(7),
+			},
+		}
+	}
+	batch, err := m.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	err = worker.Run(ctx, worker.Config{
+		Server:          ts.URL,
+		Token:           "smoke",
+		Name:            "smoke-batch",
+		Poll:            10 * time.Millisecond,
+		Backoff:         10 * time.Millisecond,
+		MaxJobs:         8,
+		SharedEvalCache: true,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("worker.Run: %v", err)
+	}
+
+	st, err := m.BatchStatus(batch.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != jobs.StateDone || st.Done != 8 {
+		t.Fatalf("batch after smoke run: %+v", st)
+	}
+	if st.Effort.EvalCacheCrossHits <= 0 {
+		t.Fatalf("no cross-job cache hits in effort rollup: %+v", st.Effort)
+	}
+	t.Logf("cross-job hits %d of %d would-be simulator calls",
+		st.Effort.EvalCacheCrossHits, st.Effort.EvalCacheCrossHits+st.Effort.EvalCacheMisses)
+}

@@ -80,18 +80,24 @@ func main() {
 		"persistent job-store file (WAL + snapshots); empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 0,
 		"compact the store after this many journaled records (0 = default 1024, negative = never)")
+	sharedEvalCache := flag.Bool("shared-eval-cache", false,
+		"share one evaluation cache across jobs on the same problem (sweep members reuse each other's simulations; bit-identical results)")
+	evalCacheSize := flag.Int("eval-cache-size", 0,
+		"shared evaluation-cache capacity in entries (0 = default; requires -shared-eval-cache)")
 	flag.Parse()
 
 	if err := run(*addr, *workerToken, *storePath, jobs.Config{
-		Workers:       *workers,
-		RemoteOnly:    *remoteOnly,
-		QueueSize:     *queue,
-		VerifyWorkers: *verifyWorkers,
-		SweepWorkers:  *sweepWorkers,
-		LeaseTTL:      *leaseTTL,
-		RetainJobs:    *retainJobs,
-		RetainFor:     *retainFor,
-		SnapshotEvery: *snapshotEvery,
+		Workers:         *workers,
+		RemoteOnly:      *remoteOnly,
+		QueueSize:       *queue,
+		VerifyWorkers:   *verifyWorkers,
+		SweepWorkers:    *sweepWorkers,
+		LeaseTTL:        *leaseTTL,
+		RetainJobs:      *retainJobs,
+		RetainFor:       *retainFor,
+		SnapshotEvery:   *snapshotEvery,
+		SharedEvalCache: *sharedEvalCache,
+		EvalCacheSize:   *evalCacheSize,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -337,6 +337,112 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	}
 }
 
+// batchStatus mirrors the JSON of GET /v1/batches/{id}.
+type batchStatus struct {
+	ID      string      `json:"id"`
+	State   string      `json:"state"`
+	Unique  int         `json:"unique"`
+	Deduped int         `json:"deduped"`
+	Done    int         `json:"done"`
+	Members []jobStatus `json:"members"`
+}
+
+func batchStat(t *testing.T, d *daemon, id string) batchStatus {
+	t.Helper()
+	var st batchStatus
+	if code := httpJSON(t, http.MethodGet, d.base+"/v1/batches/"+id, "", &st); code != http.StatusOK {
+		t.Fatalf("batch status %s returned %d", id, code)
+	}
+	return st
+}
+
+// TestBatchCrashRecoverySIGKILL: a batch sweep must survive a crash as
+// one unit. One member finishes before the kill (its result must come
+// back bit-identical), one is mid-run (requeued, budget intact), one is
+// queued, and one is an in-batch duplicate (the dedupe fold must also
+// survive recovery). After the restart the batch reconstitutes with the
+// same ID, member IDs and counts, and drains to done in submit order.
+func TestBatchCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons and full optimizations")
+	}
+	storePath := filepath.Join(t.TempDir(), "jobs.wal")
+	args := []string{"-workers", "1", "-store", storePath, "-shared-eval-cache"}
+
+	d1 := startDaemon(t, args...)
+	var sub batchStatus
+	batchBody := `{"jobs": [
+	  {"circuit": "ota", "options": {"modelSamples": 500, "verifySamples": 60, "maxIterations": 1, "seed": 31, "wcSeed": 7}},
+	  {"circuit": "ota", "options": {"modelSamples": 6000, "verifySamples": 2000, "maxIterations": 3, "seed": 32, "wcSeed": 7}},
+	  {"circuit": "ota", "options": {"modelSamples": 500, "verifySamples": 60, "maxIterations": 1, "seed": 33, "wcSeed": 7}},
+	  {"circuit": "ota", "options": {"modelSamples": 500, "verifySamples": 60, "maxIterations": 1, "seed": 33, "wcSeed": 7}}
+	]}`
+	if code := httpJSON(t, http.MethodPost, d1.base+"/v1/batches", batchBody, &sub); code != http.StatusAccepted {
+		t.Fatalf("batch submit returned %d; logs:\n%s", code, d1.log())
+	}
+	if sub.Unique != 3 || sub.Deduped != 1 || len(sub.Members) != 4 {
+		t.Fatalf("batch submit ack: %+v", sub)
+	}
+
+	// Member 0 finishes; member 1 is mid-run on the single local worker
+	// when the SIGKILL lands.
+	waitFor(t, d1, sub.Members[0].ID, "done", 2*time.Minute)
+	code, wantResult := httpBody(t, d1.base+"/v1/jobs/"+sub.Members[0].ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("member result pre-crash: %d", code)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for status(t, d1, sub.Members[1].ID).State != "running" && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := status(t, d1, sub.Members[1].ID); st.State != "running" {
+		t.Fatalf("slow member state = %q, want running", st.State)
+	}
+
+	d1.sigkill(t)
+	d2 := startDaemon(t, args...)
+
+	// The batch reconstitutes as a unit: same ID, same member IDs in
+	// submit order, dedupe fold intact, finished work preserved.
+	rst := batchStat(t, d2, sub.ID)
+	if rst.Unique != 3 || rst.Deduped != 1 || len(rst.Members) != 4 || rst.Done < 1 {
+		t.Fatalf("recovered batch: %+v", rst)
+	}
+	for i := range sub.Members {
+		if rst.Members[i].ID != sub.Members[i].ID {
+			t.Errorf("member %d ID changed across crash: %s -> %s", i, sub.Members[i].ID, rst.Members[i].ID)
+		}
+	}
+	if rst.Members[2].ID != rst.Members[3].ID {
+		t.Errorf("in-batch dedupe lost on recovery: %s vs %s", rst.Members[2].ID, rst.Members[3].ID)
+	}
+	code, gotResult := httpBody(t, d2.base+"/v1/jobs/"+sub.Members[0].ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("member result post-crash: %d", code)
+	}
+	if gotResult != wantResult {
+		t.Errorf("member result changed across the crash:\n pre %s\npost %s", wantResult, gotResult)
+	}
+
+	// The interrupted and queued members re-run to completion in submit
+	// order, and the batch settles.
+	ist := waitFor(t, d2, sub.Members[1].ID, "done", 5*time.Minute)
+	if ist.Attempts != 2 {
+		t.Errorf("interrupted member attempts = %d, want 2", ist.Attempts)
+	}
+	qst := waitFor(t, d2, sub.Members[2].ID, "done", 5*time.Minute)
+	if qst.Attempts != 1 {
+		t.Errorf("queued member attempts = %d, want 1", qst.Attempts)
+	}
+	if ist.StartedAt == nil || qst.StartedAt == nil || !ist.StartedAt.Before(*qst.StartedAt) {
+		t.Errorf("recovered members ran out of submit order: %v vs %v", ist.StartedAt, qst.StartedAt)
+	}
+	fin := batchStat(t, d2, sub.ID)
+	if fin.State != "done" || fin.Done != 3 {
+		t.Fatalf("batch after recovery drain: %+v", fin)
+	}
+}
+
 // TestStoreSmoke is the fast path `make storesmoke` runs: submit, kill,
 // recover, verify — no mid-run interruption, so it completes in a few
 // seconds.

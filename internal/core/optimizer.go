@@ -59,6 +59,11 @@ type Options struct {
 	// bit-identical either way (the cache keys on exact bit patterns);
 	// the switch exists for ablation and the determinism tests.
 	NoEvalCache bool
+	// EvalCache, when non-nil, replaces the run's private memoization
+	// cache — typically a problem-scoped evalcache.Shared view, so sweep
+	// members reuse each other's simulations. Ignored when NoEvalCache is
+	// set. Bit-exact keying keeps results identical either way.
+	EvalCache evalcache.Wrapper
 	// EvalCacheSize caps the number of memoized evaluation points.
 	// 0 selects evalcache.DefaultMaxEntries.
 	EvalCacheSize int
@@ -173,9 +178,9 @@ type Optimizer struct {
 	problem *Problem
 	opts    Options
 	counter Counter
-	cache   *evalcache.Cache // nil when Options.NoEvalCache is set
-	sim0    SimCounters      // simulator counters at construction time
-	p       *Problem         // instrumented (and possibly cached) copy
+	cache   evalcache.Wrapper // nil when Options.NoEvalCache is set
+	sim0    SimCounters       // simulator counters at construction time
+	p       *Problem          // instrumented (and possibly cached) copy
 }
 
 // NewOptimizer validates the problem and prepares an instrumented copy.
@@ -190,7 +195,11 @@ func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
 	o := &Optimizer{problem: problem, opts: opts}
 	o.p = o.counter.Instrument(problem)
 	if !opts.NoEvalCache {
-		o.cache = evalcache.New(opts.EvalCacheSize)
+		if opts.EvalCache != nil {
+			o.cache = opts.EvalCache
+		} else {
+			o.cache = evalcache.New(opts.EvalCacheSize)
+		}
 		o.p = o.cache.Wrap(o.p)
 	}
 	if opts.NoConstraints {
@@ -441,7 +450,15 @@ func (o *Optimizer) analyze(ctx context.Context, d []float64, seed uint64) (*Ite
 				return p.Specs[i].Margin(vals[i]), nil
 			}
 			wcOpts := opts.WC
-			wcOpts.Seed = seed + uint64(i)*1000003
+			if wcOpts.Seed == 0 {
+				wcOpts.Seed = seed + uint64(i)*1000003
+			} else {
+				// A pinned WC seed (Options.WC.Seed) decouples the restart
+				// stream from the run seed: the search becomes a pure
+				// function of (d, spec), so seed sweeps vary only their
+				// sampling streams — and share the WC simulations.
+				wcOpts.Seed = opts.WC.Seed + uint64(i)*1000003
+			}
 			wcs[i], wcErrs[i] = wcd.FindWorstCase(marginFn, p.NumStat(), wcOpts)
 		}()
 	}

@@ -24,15 +24,25 @@ import (
 
 // DefaultMaxEntries bounds the cache when no explicit capacity is given.
 // An optimizer run evaluates tens of thousands of points at most; the cap
-// only guards against pathological callers. When full, new points are
-// simulated but not stored (counted in Stats.Overflow), which keeps the
-// memoized results — and therefore every returned value — deterministic.
+// only guards against pathological callers. When full, the per-run Cache
+// simulates new points but does not store them (counted in
+// Stats.Overflow): its memoized set is append-only, so which points are
+// memoized — and therefore every returned value — is deterministic for a
+// given evaluation order. The manager-scoped Shared cache (shared.go)
+// instead does true LRU eviction under the same default cap; it relies
+// only on bit-exact hits, not on a deterministic resident set, for its
+// determinism guarantee.
 const DefaultMaxEntries = 1 << 19
 
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	// Hits counts evaluations answered from a completed cache entry.
 	Hits int64
+	// CrossHits is the subset of Hits answered from an entry another
+	// job stored — always zero for the per-run Cache, meaningful for a
+	// Shared cache's View (shared.go), where it measures cross-job
+	// simulation reuse inside a sweep.
+	CrossHits int64
 	// Misses counts evaluations that ran the simulator.
 	Misses int64
 	// Deduped counts evaluations that joined another goroutine's

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"specwise/internal/core"
+	"specwise/internal/evalcache"
 	"specwise/internal/report"
 	"specwise/internal/wcd"
 )
@@ -24,6 +25,14 @@ type ExecEnv struct {
 	// workers leave it nil — progress is not streamed back over the
 	// pull protocol.
 	Progress func(core.ProgressEvent)
+	// EvalCache, when non-nil, is the shared evaluation cache view this
+	// execution memoizes through — a problem-scoped handle on the
+	// manager's (or remote worker's) process-wide shard, so sweep
+	// members reuse each other's simulations. nil keeps the default
+	// per-run cache. Behaviour-preserving like every other ExecEnv knob:
+	// the cache keys on exact (d, s, θ) bit patterns, so results are
+	// bit-identical with or without sharing.
+	EvalCache evalcache.Wrapper
 }
 
 // Execute runs one resolved request end to end. It is the single
@@ -38,6 +47,13 @@ func Execute(ctx context.Context, p *core.Problem, req *Request, env ExecEnv) (*
 		n := req.Options.VerifySamples
 		if n == 0 {
 			n = 300
+		}
+		if env.EvalCache != nil {
+			// Memoize the verification through the shared cache: the
+			// worst-case analysis and the Monte-Carlo samples are keyed the
+			// same way the optimizer's are, so verify jobs both profit from
+			// and feed the sweep's working set.
+			p = env.EvalCache.Wrap(p)
 		}
 		d := p.InitialDesign()
 		zeroS := make([]float64, p.NumStat())
@@ -66,6 +82,7 @@ func Execute(ctx context.Context, p *core.Problem, req *Request, env ExecEnv) (*
 		if opts.SweepWorkers <= 0 {
 			opts.SweepWorkers = env.SweepWorkers
 		}
+		opts.EvalCache = env.EvalCache
 		opts.Progress = env.Progress
 		opt, err := core.NewOptimizer(p, opts)
 		if err != nil {

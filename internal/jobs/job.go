@@ -26,6 +26,7 @@ import (
 
 	"specwise/internal/core"
 	"specwise/internal/report"
+	"specwise/internal/wcd"
 )
 
 // Job kinds.
@@ -48,7 +49,14 @@ type RunOptions struct {
 	// keeps the content hash of seedless and nonzero-seed requests
 	// byte-identical to the pre-pointer encoding, so existing cache
 	// entries stay reachable.
-	Seed               *uint64 `json:"seed,omitempty"`
+	Seed *uint64 `json:"seed,omitempty"`
+	// WCSeed pins the worst-case search's restart stream independently
+	// of the run seed, making the WC analysis a pure function of
+	// (design, spec). Seed sweeps set it so members differ only in their
+	// sampling streams — and, under the shared evaluation cache, reuse
+	// each other's worst-case simulations. nil keeps the historical
+	// derivation from the run seed (and the historical content hash).
+	WCSeed             *uint64 `json:"wcSeed,omitempty"`
 	NoConstraints      bool    `json:"noConstraints,omitempty"`
 	LinearizeAtNominal bool    `json:"linearizeAtNominal,omitempty"`
 	NoMirrorSpecs      bool    `json:"noMirrorSpecs,omitempty"`
@@ -83,7 +91,15 @@ func (o RunOptions) seed() uint64 {
 
 // Core converts the wire options into optimizer options.
 func (o RunOptions) Core() core.Options {
+	var wc wcd.Options
+	if o.WCSeed != nil {
+		wc.Seed = *o.WCSeed
+		if wc.Seed == 0 {
+			wc.Seed = 0x5eed // explicit 0 pins the WC module's default stream
+		}
+	}
 	return core.Options{
+		WC:                 wc,
 		ModelSamples:       o.ModelSamples,
 		VerifySamples:      o.VerifySamples,
 		MaxIterations:      o.MaxIterations,
@@ -149,6 +165,27 @@ func (r *Request) Hash() (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
+// ProblemHash returns the deterministic hash of the *problem alone* —
+// circuit name or compacted inline spec, nothing else. It is coarser
+// than Hash(): sweep members that differ only in kind, seed or options
+// share a problem hash, which is exactly the granularity the shared
+// evaluation cache keys on (the evaluation is a pure function of
+// (problem, d, s, θ), independent of how the optimizer is driven).
+func (r *Request) ProblemHash() (string, error) {
+	var blob []byte
+	if r.Circuit != "" {
+		blob = []byte("circuit:" + r.Circuit)
+	} else {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, r.Spec); err != nil {
+			return "", fmt.Errorf("jobs: spec is not valid JSON: %w", err)
+		}
+		blob = append([]byte("spec:"), buf.Bytes()...)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
 // State is a job's lifecycle position.
 type State string
 
@@ -191,6 +228,8 @@ type Status struct {
 	State  State  `json:"state"`
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Batch names the owning batch submission, if any.
+	Batch string `json:"batch,omitempty"`
 	// Worker names the remote pull-worker holding (or last holding) the
 	// job's lease; empty for jobs run by the in-process pool.
 	Worker string `json:"worker,omitempty"`
@@ -210,7 +249,15 @@ type Job struct {
 	id   string
 	seq  int // manager sequence number; journaled, restored on recovery
 	hash string
-	req  Request
+	// problemHash keys the shared evaluation cache; derived from the
+	// request (never journaled — recovery recomputes it).
+	problemHash string
+	// batch is the owning batch ID, empty for standalone submissions.
+	// Batch members are retained through their batch, not the per-job
+	// retention queue. Immutable after submit (cleared only for orphans
+	// of an uncommitted batch during recovery, before concurrency).
+	batch string
+	req   Request
 
 	problem *core.Problem // resolved at submit time (or on recovery)
 
@@ -279,6 +326,7 @@ func (j *Job) Status() Status {
 		State:      j.state,
 		Cached:     j.cached,
 		Error:      j.err,
+		Batch:      j.batch,
 		Worker:     j.worker,
 		Attempts:   j.attempts,
 		EnqueuedAt: j.enqueued,

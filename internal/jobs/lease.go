@@ -27,6 +27,11 @@ type Lease struct {
 	Deadline   time.Time `json:"deadline"`
 	TTLSeconds float64   `json:"ttlSeconds"`
 	Request    Request   `json:"request"`
+	// ProblemHash identifies the job's problem (circuit or spec, nothing
+	// else): workers running a shared evaluation cache shard it by this
+	// key, so sweep members claimed by the same worker reuse each
+	// other's simulations. Older workers ignore the field.
+	ProblemHash string `json:"problemHash,omitempty"`
 }
 
 // Claim hands the oldest queued job to a remote worker under a fresh
@@ -68,12 +73,13 @@ func (m *Manager) Claim(worker string) (*Lease, error) {
 		m.journal(&Record{Kind: RecLease, Job: job.id, Worker: worker, Lease: job.leaseID, //nolint:errcheck // degraded store: logged once
 			LeaseSeq: job.leaseSeq, Deadline: job.leaseDeadline, Attempts: job.attempts, Time: now})
 		lease := &Lease{
-			JobID:      job.id,
-			LeaseID:    job.leaseID,
-			Kind:       job.req.Kind,
-			Deadline:   job.leaseDeadline,
-			TTLSeconds: m.cfg.LeaseTTL.Seconds(),
-			Request:    job.req,
+			JobID:       job.id,
+			LeaseID:     job.leaseID,
+			Kind:        job.req.Kind,
+			Deadline:    job.leaseDeadline,
+			TTLSeconds:  m.cfg.LeaseTTL.Seconds(),
+			Request:     job.req,
+			ProblemHash: job.problemHash,
 		}
 		job.mu.Unlock()
 		m.metrics.queued.Add(-1)

@@ -14,6 +14,7 @@ import (
 
 	"specwise/internal/circuits"
 	"specwise/internal/core"
+	"specwise/internal/evalcache"
 	"specwise/internal/yieldspec"
 )
 
@@ -68,6 +69,18 @@ type Config struct {
 	// that do not set options.sweepWorkers (0 means GOMAXPROCS). Results
 	// are bit-identical for every setting.
 	SweepWorkers int
+	// SharedEvalCache turns on the manager-scoped shared evaluation
+	// cache: jobs on the same problem (same circuit or byte-identical
+	// spec) reuse each other's simulations, which is where a sweep's
+	// wall-clock win comes from. Results stay bit-identical with sharing
+	// on or off — the cache keys on exact (d, s, θ) bit patterns. The
+	// manager-side shard serves the in-process pool; remote pull-workers
+	// keep their own per-process shard (see internal/worker).
+	SharedEvalCache bool
+	// EvalCacheSize caps the shared cache's entry count; the least
+	// recently used completed entry is evicted past the cap
+	// (0 selects evalcache.DefaultMaxEntries).
+	EvalCacheSize int
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
@@ -161,19 +174,26 @@ type Manager struct {
 	// the NullStore so hot paths skip record construction entirely.
 	store        Store
 	persistent   bool
-	appendsSince atomic.Int64 // records since the last snapshot
-	draining     atomic.Bool  // Shutdown in progress: requeue, don't cancel
-	down         atomic.Bool  // Close/Shutdown already ran
-	storeErrOnce sync.Once    // log store degradation once, not per record
+	evalShared   *evalcache.Shared // non-nil iff cfg.SharedEvalCache
+	appendsSince atomic.Int64      // records since the last snapshot
+	draining     atomic.Bool       // Shutdown in progress: requeue, don't cancel
+	down         atomic.Bool       // Close/Shutdown already ran
+	storeErrOnce sync.Once         // log store degradation once, not per record
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	pending  *list.List               // of *Job, FIFO; only StateQueued jobs
-	order    *list.List               // of retained: terminal jobs in finish order
-	cache    map[string]*list.Element // hash → element in lru
-	lru      *list.List               // of *cacheEntry, most recent first
-	seq      int
-	leaseSeq int
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	pending *list.List               // of *Job, FIFO; only StateQueued jobs
+	order   *list.List               // of retained: terminal jobs in finish order
+	cache   map[string]*list.Element // hash → element in lru
+	lru     *list.List               // of *cacheEntry, most recent first
+	batches map[string]*Batch
+	// batchOrder retains terminal batches in settle order; member jobs
+	// are pinned in m.jobs while their batch is tracked and evicted with
+	// it (see batch.go).
+	batchOrder *list.List // of retainedBatch
+	seq        int
+	batchSeq   int
+	leaseSeq   int
 }
 
 // cacheEntry is one completed result in the LRU result cache. jobID
@@ -215,15 +235,17 @@ func Open(cfg Config) (*Manager, error) {
 	cfg.defaults()
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		ctx:     ctx,
-		stop:    stop,
-		wake:    make(chan struct{}, 1),
-		jobs:    make(map[string]*Job),
-		pending: list.New(),
-		order:   list.New(),
-		cache:   make(map[string]*list.Element),
-		lru:     list.New(),
+		cfg:        cfg,
+		ctx:        ctx,
+		stop:       stop,
+		wake:       make(chan struct{}, 1),
+		jobs:       make(map[string]*Job),
+		pending:    list.New(),
+		order:      list.New(),
+		cache:      make(map[string]*list.Element),
+		lru:        list.New(),
+		batches:    make(map[string]*Batch),
+		batchOrder: list.New(),
 	}
 	m.store = cfg.Store
 	if m.store == nil {
@@ -234,9 +256,16 @@ func Open(cfg Config) (*Manager, error) {
 	default:
 		m.persistent = true
 	}
+	if cfg.SharedEvalCache {
+		m.evalShared = evalcache.NewShared(cfg.EvalCacheSize)
+	}
 	m.metrics.start = time.Now()
 	m.metrics.workers = cfg.Workers
 	m.metrics.storeStats = m.store.Stats
+	if m.evalShared != nil {
+		m.metrics.sharedEval = m.evalShared.Stats
+		m.metrics.sharedEvalPerProblem = m.evalShared.PerProblem
+	}
 	if m.persistent {
 		if err := m.recover(); err != nil {
 			stop()
@@ -258,6 +287,10 @@ func Open(cfg Config) (*Manager, error) {
 // now reads the manager clock (time.Now unless a test injected a fake).
 func (m *Manager) now() time.Time { return m.cfg.clock() }
 
+// SharedEvalCache returns the manager-scoped shared evaluation cache,
+// or nil when Config.SharedEvalCache is off.
+func (m *Manager) SharedEvalCache() *evalcache.Shared { return m.evalShared }
+
 // Metrics exposes the service counters.
 func (m *Manager) Metrics() *Metrics { return &m.metrics }
 
@@ -277,6 +310,13 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The problem hash keys the shared evaluation cache. It is computed
+	// even when the manager-side shard is off: remote pull-workers carry
+	// it in their leases and maintain their own shard.
+	probHash, err := req.ProblemHash()
+	if err != nil {
+		return nil, err
+	}
 	// Resolve eagerly so a bad circuit name or malformed spec fails the
 	// submission itself, not the job later.
 	p, err := m.cfg.Resolve(&req)
@@ -287,12 +327,13 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.mu.Lock()
 	m.seq++
 	job := &Job{
-		id:       fmt.Sprintf("job-%06d", m.seq),
-		seq:      m.seq,
-		hash:     hash,
-		req:      req,
-		problem:  p,
-		enqueued: m.now(),
+		id:          fmt.Sprintf("job-%06d", m.seq),
+		seq:         m.seq,
+		hash:        hash,
+		problemHash: probHash,
+		req:         req,
+		problem:     p,
+		enqueued:    m.now(),
 	}
 	if el, ok := m.cache[hash]; ok {
 		// Journal the submission before settling it from the cache, so
@@ -408,6 +449,13 @@ func (m *Manager) Cancel(id string) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	m.cancelLocked(j)
+	return nil
+}
+
+// cancelLocked applies the cancellation state machine to one job. Both
+// m.mu and j.mu are held; CancelBatch shares it with Cancel.
+func (m *Manager) cancelLocked(j *Job) {
 	switch j.state {
 	case StateQueued:
 		m.finishLocked(j, StateCanceled, "canceled")
@@ -423,7 +471,6 @@ func (m *Manager) Cancel(id string) error {
 			m.finishLocked(j, StateCanceled, "canceled")
 		}
 	}
-	return nil
 }
 
 // Close cancels every queued, running and leased job and waits for the
@@ -602,7 +649,13 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 	case StateFailed:
 		m.metrics.failed.Add(1)
 	}
-	m.order.PushBack(retained{job: j, finished: j.finished})
+	if j.batch != "" {
+		// Batch members are retained (and evicted) through their batch,
+		// which settles once its last member does.
+		m.noteBatchSettleLocked(j)
+	} else {
+		m.order.PushBack(retained{job: j, finished: j.finished})
+	}
 	m.evictLocked(j.finished)
 }
 
@@ -622,6 +675,7 @@ func (m *Manager) evictLocked(now time.Time) {
 		m.journal(&Record{Kind: RecJobEvict, Job: r.job.id}) //nolint:errcheck // degraded store: logged once
 		m.metrics.jobsEvicted.Add(1)
 	}
+	m.evictBatchesLocked(now)
 	m.metrics.jobsTracked.Store(int64(len(m.jobs)))
 }
 
@@ -719,11 +773,15 @@ func (m *Manager) cacheStoreLocked(hash string, result *Result, jobID string) {
 // execute runs the job through the shared execution path and folds the
 // run's reuse counters into the service metrics.
 func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
-	res, coreRes, err := Execute(ctx, job.problem, &job.req, ExecEnv{
+	env := ExecEnv{
 		VerifyWorkers: m.cfg.VerifyWorkers,
 		SweepWorkers:  m.cfg.SweepWorkers,
 		Progress:      job.addProgress,
-	})
+	}
+	if m.evalShared != nil {
+		env.EvalCache = m.evalShared.View(job.problemHash)
+	}
+	res, coreRes, err := Execute(ctx, job.problem, &job.req, env)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"specwise/internal/core"
+	"specwise/internal/evalcache"
 )
 
 // Metrics holds the service counters exported on GET /metrics. All
@@ -36,6 +37,12 @@ type Metrics struct {
 	jobsTracked atomic.Int64 // gauge: jobs currently in the store
 	jobsEvicted atomic.Int64 // terminal jobs dropped by the retention policy
 
+	// Batch submissions (POST /v1/batches).
+	batches        atomic.Int64 // batches accepted
+	batchMembers   atomic.Int64 // member requests across all batches
+	batchDeduped   atomic.Int64 // members folded into an in-batch sibling
+	batchesEvicted atomic.Int64 // terminal batches dropped by retention
+
 	// Remote worker-pull protocol: claims granted, leases currently
 	// outstanding, silent-lease expiries and the requeues they caused.
 	claims        atomic.Int64
@@ -57,11 +64,21 @@ type Metrics struct {
 	// Per-evaluation reuse counters aggregated over completed
 	// optimization runs: the in-run memoization cache and the DC
 	// warm-start machinery (see internal/evalcache, internal/spice).
-	evalCacheHits   atomic.Int64
-	evalCacheMisses atomic.Int64
-	warmStarts      atomic.Int64
-	warmConverged   atomic.Int64
-	dcFallbacks     atomic.Int64
+	evalCacheHits     atomic.Int64
+	evalCacheMisses   atomic.Int64
+	evalCacheDeduped  atomic.Int64
+	evalCacheOverflow atomic.Int64
+	warmStarts        atomic.Int64
+	warmConverged     atomic.Int64
+	dcFallbacks       atomic.Int64
+
+	// Manager-scoped shared evaluation cache, when configured: live
+	// snapshot hooks installed once before any concurrency. The shared
+	// counters supersede the per-run aggregates above in the exposition —
+	// with sharing on, every job's lookups flow through the shared cache,
+	// and these hooks see them live instead of only at job completion.
+	sharedEval           func() evalcache.SharedStats
+	sharedEvalPerProblem func() map[string]int
 
 	// Linear-solver effort underneath the Newton iterations, aggregated
 	// over completed runs; the NNZ gauges describe the last observed MNA
@@ -81,6 +98,8 @@ type Metrics struct {
 func (m *Metrics) noteRun(res *core.Result) {
 	m.evalCacheHits.Add(res.EvalCache.Hits + res.EvalCache.ConstraintHits)
 	m.evalCacheMisses.Add(res.EvalCache.Misses + res.EvalCache.ConstraintMisses)
+	m.evalCacheDeduped.Add(res.EvalCache.Deduped)
+	m.evalCacheOverflow.Add(res.EvalCache.Overflow)
 	m.warmStarts.Add(res.Sim.WarmStarts)
 	m.warmConverged.Add(res.Sim.WarmConverged)
 	m.dcFallbacks.Add(res.Sim.Fallbacks)
@@ -198,6 +217,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_jobs_tracked %d\n", m.jobsTracked.Load())
 	fmt.Fprintf(w, "specwised_jobs_evicted_total %d\n", m.jobsEvicted.Load())
 	fmt.Fprintf(w, "specwised_jobs_requeued_total %d\n", m.requeued.Load())
+	fmt.Fprintf(w, "specwised_batches_total %d\n", m.batches.Load())
+	fmt.Fprintf(w, "specwised_batch_members_total %d\n", m.batchMembers.Load())
+	fmt.Fprintf(w, "specwised_batch_members_deduped_total %d\n", m.batchDeduped.Load())
+	fmt.Fprintf(w, "specwised_batches_evicted_total %d\n", m.batchesEvicted.Load())
 	fmt.Fprintf(w, "specwised_claims_total %d\n", m.claims.Load())
 	fmt.Fprintf(w, "specwised_leases_active %d\n", m.leasesActive.Load())
 	fmt.Fprintf(w, "specwised_lease_expiries_total %d\n", m.leaseExpiries.Load())
@@ -215,8 +238,42 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_store_recovered_jobs %d\n", m.storeRecovered.Load())
 	fmt.Fprintf(w, "specwised_store_recovery_seconds %.6f\n",
 		time.Duration(m.storeRecoveryNanos.Load()).Seconds())
-	fmt.Fprintf(w, "specwised_evalcache_hits_total %d\n", m.evalCacheHits.Load())
-	fmt.Fprintf(w, "specwised_evalcache_misses_total %d\n", m.evalCacheMisses.Load())
+	if m.sharedEval != nil {
+		// Shared cache on: every job's lookups flow through the shared
+		// shard, so its live counters are the authoritative evalcache
+		// series (the per-run aggregates would lag until job completion).
+		es := m.sharedEval()
+		fmt.Fprintf(w, "specwised_evalcache_hits_total %d\n", es.Hits)
+		fmt.Fprintf(w, "specwised_evalcache_cross_hits_total %d\n", es.CrossHits)
+		fmt.Fprintf(w, "specwised_evalcache_misses_total %d\n", es.Misses)
+		fmt.Fprintf(w, "specwised_evalcache_deduped_total %d\n", es.Deduped)
+		fmt.Fprintf(w, "specwised_evalcache_overflow_total %d\n", es.Overflow)
+		fmt.Fprintf(w, "specwised_evalcache_evictions_total %d\n", es.Evictions)
+		fmt.Fprintf(w, "specwised_evalcache_entries %d\n", es.Entries)
+		fmt.Fprintf(w, "specwised_evalcache_problems %d\n", es.Problems)
+		if m.sharedEvalPerProblem != nil {
+			per := m.sharedEvalPerProblem()
+			probs := make([]string, 0, len(per))
+			for p := range per {
+				probs = append(probs, p)
+			}
+			sort.Strings(probs)
+			for _, p := range probs {
+				label := p
+				if len(label) > 12 {
+					label = label[:12]
+				}
+				fmt.Fprintf(w, "specwised_evalcache_problem_entries{problem=%q} %d\n", label, per[p])
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "specwised_evalcache_hits_total %d\n", m.evalCacheHits.Load())
+		fmt.Fprintf(w, "specwised_evalcache_cross_hits_total 0\n")
+		fmt.Fprintf(w, "specwised_evalcache_misses_total %d\n", m.evalCacheMisses.Load())
+		fmt.Fprintf(w, "specwised_evalcache_deduped_total %d\n", m.evalCacheDeduped.Load())
+		fmt.Fprintf(w, "specwised_evalcache_overflow_total %d\n", m.evalCacheOverflow.Load())
+		fmt.Fprintf(w, "specwised_evalcache_evictions_total 0\n")
+	}
 	fmt.Fprintf(w, "specwised_dc_warm_starts_total %d\n", m.warmStarts.Load())
 	fmt.Fprintf(w, "specwised_dc_warm_converged_total %d\n", m.warmConverged.Load())
 	fmt.Fprintf(w, "specwised_dc_fallbacks_total %d\n", m.dcFallbacks.Load())

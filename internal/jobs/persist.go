@@ -88,14 +88,21 @@ func (m *Manager) applyRecord(rec *Record) error {
 		if rec.Job == "" || rec.Req == nil {
 			return fmt.Errorf("jobs: malformed submit record (job %q)", rec.Job)
 		}
-		m.jobs[rec.Job] = &Job{
+		j := &Job{
 			id:       rec.Job,
 			seq:      rec.Seq,
 			hash:     rec.Hash,
 			req:      *rec.Req,
+			batch:    rec.Batch,
 			state:    StateQueued,
 			enqueued: rec.Time,
 		}
+		// The problem hash is derived, never journaled; recompute it so
+		// recovered jobs keep sharing the evaluation cache. A request that
+		// survived submission always hashes, so the error path is dead in
+		// a healthy journal.
+		j.problemHash, _ = j.req.ProblemHash() //nolint:errcheck // empty hash only disables sharing
+		m.jobs[rec.Job] = j
 		if rec.Seq > m.seq {
 			m.seq = rec.Seq
 		}
@@ -178,6 +185,21 @@ func (m *Manager) applyRecord(rec *Record) error {
 		}
 	case RecJobEvict:
 		delete(m.jobs, rec.Job)
+	case RecBatch:
+		if rec.Batch == "" {
+			return fmt.Errorf("jobs: malformed batch record")
+		}
+		m.batches[rec.Batch] = &Batch{
+			id:        rec.Batch,
+			seq:       rec.Seq,
+			created:   rec.Time,
+			memberIDs: rec.Members,
+		}
+		if rec.Seq > m.batchSeq {
+			m.batchSeq = rec.Seq
+		}
+	case RecBatchEvict:
+		delete(m.batches, rec.Batch)
 	case RecCacheEvict:
 		if el, ok := m.cache[rec.Hash]; ok {
 			m.lru.Remove(el)
@@ -238,12 +260,58 @@ func (m *Manager) recover() error {
 	m.metrics.running.Store(running)
 	m.metrics.leasesActive.Store(leased)
 
+	// Re-link batches to their member jobs (the journal stores member
+	// IDs; a batch evicted with RecBatchEvict is already gone). Jobs
+	// carrying a batch tag whose RecBatch never made the journal are
+	// orphans of a submission the crash interrupted before it was
+	// acknowledged: cancel them, exactly as an unacknowledged Submit
+	// whose RecSubmit never landed would simply not exist.
+	for _, b := range m.batches {
+		seen := make(map[string]bool, len(b.memberIDs))
+		b.unique = b.unique[:0]
+		b.terminal = 0
+		for _, id := range b.memberIDs {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			j, ok := m.jobs[id]
+			if !ok {
+				continue // evicted from a stale journal; tolerate
+			}
+			b.unique = append(b.unique, j)
+			if j.state.Terminal() {
+				b.terminal++
+				if j.finished.After(b.finished) {
+					b.finished = j.finished
+				}
+			}
+		}
+	}
+	// Jobs carrying a batch tag whose committing RecBatch never made the
+	// journal are orphans of a submission the crash interrupted before
+	// it was acknowledged. Clear their tag (they re-enter ordinary job
+	// retention) now; the non-terminal ones are canceled after the
+	// retention rebuild below, so they enroll exactly once.
+	var orphans []*Job
+	for _, j := range m.jobs {
+		if j.batch == "" {
+			continue
+		}
+		if _, ok := m.batches[j.batch]; ok {
+			continue
+		}
+		j.batch = ""
+		orphans = append(orphans, j)
+	}
+
 	// Retention order: terminal jobs, oldest finish first (ties by
 	// submit order). The journal interleaves settlements with everything
 	// else and snapshots are submit-ordered, so this must be rebuilt.
+	// Batch members are excluded — they are retained through their batch.
 	var term []*Job
 	for _, j := range m.jobs {
-		if j.state.Terminal() {
+		if j.state.Terminal() && j.batch == "" {
 			term = append(term, j)
 		}
 	}
@@ -255,6 +323,34 @@ func (m *Manager) recover() error {
 	})
 	for _, j := range term {
 		m.order.PushBack(retained{job: j, finished: j.finished})
+	}
+
+	// Cancel the non-terminal orphans: the caller never saw the batch
+	// acknowledged, so its members must not silently run.
+	for _, j := range orphans {
+		if j.state.Terminal() {
+			continue // already enrolled by the rebuild above
+		}
+		j.mu.Lock()
+		m.finishLocked(j, StateCanceled, "canceled: batch submission interrupted")
+		j.mu.Unlock()
+	}
+
+	// Batch retention order: terminal batches, oldest settle first.
+	var termBatches []*Batch
+	for _, b := range m.batches {
+		if len(b.unique) > 0 && b.terminal == len(b.unique) {
+			termBatches = append(termBatches, b)
+		}
+	}
+	sort.Slice(termBatches, func(i, k int) bool {
+		if !termBatches[i].finished.Equal(termBatches[k].finished) {
+			return termBatches[i].finished.Before(termBatches[k].finished)
+		}
+		return termBatches[i].seq < termBatches[k].seq
+	})
+	for _, b := range termBatches {
+		m.batchOrder.PushBack(retainedBatch{batch: b, finished: b.finished})
 	}
 
 	// Re-resolve problems for every job that may still run locally. A
@@ -397,7 +493,7 @@ func (m *Manager) snapshotRecordsLocked() []*Record {
 	for _, j := range jobs {
 		j.mu.Lock()
 		req := j.req
-		recs = append(recs, &Record{Kind: RecSubmit, Job: j.id, Seq: j.seq, Hash: j.hash, Req: &req, Time: j.enqueued})
+		recs = append(recs, &Record{Kind: RecSubmit, Job: j.id, Seq: j.seq, Hash: j.hash, Req: &req, Batch: j.batch, Time: j.enqueued})
 		switch j.state {
 		case StateQueued:
 			if j.requeues > 0 || j.attempts > 0 {
@@ -432,6 +528,16 @@ func (m *Manager) snapshotRecordsLocked() []*Record {
 			rec.Result = ent.res
 		}
 		recs = append(recs, rec)
+	}
+	// Batches last: their member jobs were just encoded above, so replay
+	// re-links every commit record to live jobs.
+	batches := make([]*Batch, 0, len(m.batches))
+	for _, b := range m.batches {
+		batches = append(batches, b)
+	}
+	sort.Slice(batches, func(i, k int) bool { return batches[i].seq < batches[k].seq })
+	for _, b := range batches {
+		recs = append(recs, &Record{Kind: RecBatch, Batch: b.id, Seq: b.seq, Members: b.memberIDs, Time: b.created})
 	}
 	return recs
 }

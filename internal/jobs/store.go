@@ -53,6 +53,17 @@ const (
 	// cached; in snapshots it may carry the result inline for entries
 	// that outlived their job's retention.
 	RecCacheEntry RecordKind = 11
+	// RecBatch commits a batch submission. Member jobs are journaled
+	// first as RecSubmit records tagged with the batch ID; this record —
+	// carrying the member list in submit order — is the commit point.
+	// The store has no transactions, so recovery treats batch-tagged
+	// jobs with no committing RecBatch as orphans of an interrupted
+	// submission and cancels them.
+	RecBatch RecordKind = 12
+	// RecBatchEvict drops a terminal batch (retention policy); its
+	// member jobs are evicted alongside with their own RecJobEvict
+	// records.
+	RecBatchEvict RecordKind = 13
 )
 
 // Record is one journaled control-plane mutation. Which fields are
@@ -97,6 +108,13 @@ type Record struct {
 	// Result is the settlement payload (RecDone) or an inline cache
 	// entry in snapshots (RecCacheEntry).
 	Result *Result `json:"result,omitempty"`
+	// Batch is the subject batch ID (RecBatch, RecBatchEvict) or, on a
+	// RecSubmit, the batch the job was submitted under (see RecBatch for
+	// the commit protocol).
+	Batch string `json:"batch,omitempty"`
+	// Members lists a batch's member job IDs in submit order, duplicate
+	// requests repeating the deduplicated job's ID (RecBatch).
+	Members []string `json:"members,omitempty"`
 }
 
 // Store persists the control plane. Append must be durable when it

@@ -57,8 +57,12 @@ type IterationRecord struct {
 // the DC warm-start machinery behaved underneath the evaluations that
 // did run.
 type Perf struct {
-	EvalCacheHits         int64 `json:"evalCacheHits"`
-	EvalCacheMisses       int64 `json:"evalCacheMisses"`
+	EvalCacheHits   int64 `json:"evalCacheHits"`
+	EvalCacheMisses int64 `json:"evalCacheMisses"`
+	// EvalCacheCrossHits is the subset of hits answered from an entry a
+	// sibling job stored in a shared cache (always zero for per-run
+	// caching) — the cross-job reuse a batch sweep buys.
+	EvalCacheCrossHits    int64 `json:"evalCacheCrossHits,omitempty"`
 	EvalCacheDeduped      int64 `json:"evalCacheDeduped"`
 	EvalCacheOverflow     int64 `json:"evalCacheOverflow,omitempty"`
 	ConstraintCacheHits   int64 `json:"constraintCacheHits"`
@@ -106,7 +110,34 @@ func (r *Result) StripVolatile() {
 	r.Perf.ACSolveNanos = 0
 	r.Perf.TranSolveNanos = 0
 	r.Perf.EvalCacheHits = 0
+	r.Perf.EvalCacheCrossHits = 0
 	r.Perf.EvalCacheDeduped = 0
+}
+
+// StripEffortVolatile additionally zeroes the effort counters that a
+// shared evaluation cache legitimately changes: with sharing on, which
+// job pays for a simulation depends on sweep scheduling, so per-member
+// Simulations, ConstraintSims and the remaining cache counters vary even
+// though every reported design, yield and margin is bit-identical. Use
+// this (not StripVolatile) when comparing a shared-cache run against an
+// isolated one; keep StripVolatile for same-configuration comparisons,
+// where the effort counters are themselves a deterministic signal.
+func (r *Result) StripEffortVolatile() {
+	r.StripVolatile()
+	r.Simulations = 0
+	r.ConstraintSims = 0
+	r.Perf.EvalCacheMisses = 0
+	r.Perf.EvalCacheOverflow = 0
+	r.Perf.ConstraintCacheHits = 0
+	r.Perf.ConstraintCacheMisses = 0
+	// The simulator-side counters follow the simulation count.
+	r.Perf.WarmStarts = 0
+	r.Perf.WarmConverged = 0
+	r.Perf.DCFallbacks = 0
+	r.Perf.NewtonIters = 0
+	r.Perf.Factorizations = 0
+	r.Perf.Solves = 0
+	r.Perf.SymbolicFacts = 0
 }
 
 // num returns a pointer to v, or nil when v is not a finite number —
@@ -128,6 +159,7 @@ func JSONResult(res *core.Result) *Result {
 		Perf: Perf{
 			EvalCacheHits:         res.EvalCache.Hits,
 			EvalCacheMisses:       res.EvalCache.Misses,
+			EvalCacheCrossHits:    res.EvalCache.CrossHits,
 			EvalCacheDeduped:      res.EvalCache.Deduped,
 			EvalCacheOverflow:     res.EvalCache.Overflow,
 			ConstraintCacheHits:   res.EvalCache.ConstraintHits,

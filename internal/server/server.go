@@ -6,6 +6,10 @@
 //	GET    /v1/jobs/{id}        status + live progress trace
 //	GET    /v1/jobs/{id}/result final report (409 until the job is done)
 //	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via context/lease)
+//	POST   /v1/batches          submit a batch of jobs atomically (202; 200 when all cached)
+//	GET    /v1/batches          list batch statuses, newest first
+//	GET    /v1/batches/{id}     per-member states + aggregate effort rollup
+//	DELETE /v1/batches/{id}     cancel every non-terminal member
 //	GET    /healthz             liveness probe
 //	GET    /metrics             plain-text counters (Prometheus exposition format)
 //
@@ -71,6 +75,10 @@ func New(m *jobs.Manager, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
+	s.mux.HandleFunc("POST /v1/batches", s.submitBatch)
+	s.mux.HandleFunc("GET /v1/batches", s.listBatches)
+	s.mux.HandleFunc("GET /v1/batches/{id}", s.batchStatus)
+	s.mux.HandleFunc("DELETE /v1/batches/{id}", s.cancelBatch)
 	s.mux.HandleFunc("POST /v1/worker/claim", s.workerAuth(s.workerClaim))
 	s.mux.HandleFunc("POST /v1/worker/jobs/{id}/heartbeat", s.workerAuth(s.workerHeartbeat))
 	s.mux.HandleFunc("POST /v1/worker/jobs/{id}/result", s.workerAuth(s.workerResult))
@@ -141,6 +149,74 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.manager.Jobs())
+}
+
+// batchRequest is the POST /v1/batches body: the member submissions in
+// order. Duplicated requests are deduplicated server-side and share one
+// job (and one result).
+type batchRequest struct {
+	Jobs []jobs.Request `json:"jobs"`
+}
+
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return
+	}
+	batch, err := s.manager.SubmitBatch(req.Jobs)
+	switch {
+	case err == nil:
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, err := s.manager.BatchStatus(batch.ID())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	code := http.StatusAccepted
+	if st.State.Terminal() {
+		code = http.StatusOK // every member answered from the result cache
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) listBatches(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.Batches())
+}
+
+func (s *Server) batchStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.manager.BatchStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) cancelBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.manager.CancelBatch(id); err != nil {
+		writeError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	st, err := s.manager.BatchStatus(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no such batch")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"specwise/internal/core"
+	"specwise/internal/evalcache"
 	"specwise/internal/jobs"
 )
 
@@ -50,6 +51,15 @@ type Config struct {
 	// setting).
 	VerifyWorkers int
 	SweepWorkers  int
+	// SharedEvalCache enables this worker's process-local shared
+	// evaluation cache: jobs claimed by this process on the same problem
+	// (the lease's problemHash) reuse each other's simulations, the
+	// worker-side counterpart of the manager's -shared-eval-cache shard.
+	// Behaviour-preserving — bit-exact keying keeps results identical.
+	SharedEvalCache bool
+	// EvalCacheSize caps the shared cache (0 selects
+	// evalcache.DefaultMaxEntries); ignored without SharedEvalCache.
+	EvalCacheSize int
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 	// Logf receives progress lines; nil discards them.
@@ -102,6 +112,10 @@ func Run(ctx context.Context, cfg Config) error {
 	if err := cfg.defaults(); err != nil {
 		return err
 	}
+	var shared *evalcache.Shared
+	if cfg.SharedEvalCache {
+		shared = evalcache.NewShared(cfg.EvalCacheSize)
+	}
 	executed := 0
 	backoff := cfg.Backoff
 	for {
@@ -129,7 +143,7 @@ func Run(ctx context.Context, cfg Config) error {
 			continue
 		}
 		cfg.Logf("claimed %s (%s, lease %s)", lease.JobID, lease.Kind, lease.LeaseID)
-		runLease(ctx, &cfg, lease)
+		runLease(ctx, &cfg, lease, shared)
 		executed++
 		if cfg.MaxJobs > 0 && executed >= cfg.MaxJobs {
 			return nil
@@ -140,7 +154,7 @@ func Run(ctx context.Context, cfg Config) error {
 // runLease executes one claimed job under its lease: a heartbeat
 // goroutine keeps the lease alive (and cancels the run when the lease
 // is lost), then the result or failure is posted back with retries.
-func runLease(ctx context.Context, cfg *Config, lease *jobs.Lease) {
+func runLease(ctx context.Context, cfg *Config, lease *jobs.Lease, shared *evalcache.Shared) {
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -154,10 +168,16 @@ func runLease(ctx context.Context, cfg *Config, lease *jobs.Lease) {
 	var res *jobs.Result
 	p, err := cfg.Resolve(&lease.Request)
 	if err == nil {
-		res, _, err = jobs.Execute(jctx, p, &lease.Request, jobs.ExecEnv{
+		env := jobs.ExecEnv{
 			VerifyWorkers: cfg.VerifyWorkers,
 			SweepWorkers:  cfg.SweepWorkers,
-		})
+		}
+		if shared != nil && lease.ProblemHash != "" {
+			// This worker's local shard of the sweep: jobs claimed here on
+			// the same problem reuse each other's simulations.
+			env.EvalCache = shared.View(lease.ProblemHash)
+		}
+		res, _, err = jobs.Execute(jctx, p, &lease.Request, env)
 	}
 	interrupted := jctx.Err() != nil // read before cancel() taints it
 	cancel()                         // stop the heartbeats before reporting
