@@ -13,8 +13,9 @@ all: check
 # microbenchmarks) and the parsed numbers land in BENCH_core.json.
 # SweepOTA16 is the batch-engine contract: the shared-evaluation-cache
 # run must answer >=30% of would-be simulator calls cross-job (it fails
-# the bench otherwise).
-BENCH_PATTERN ?= 'Table[13456]|SweepOTA16'
+# the bench otherwise). BackendsOTA tracks the registered search
+# backends side by side on the same OTA task.
+BENCH_PATTERN ?= 'Table[13456]|SweepOTA16|BackendsOTA'
 bench: build
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchreport -o BENCH_core.json \
@@ -61,11 +62,14 @@ test:
 # paths (queue, leases, heartbeats); the store joins them because the
 # WAL is appended from every mutation path; the spice and wcd packages
 # join because the optimizer evaluates circuits (and their shared
-# solver-stat counters) from parallel gradient workers.
+# solver-stat counters) from parallel gradient workers; coord, feasopt
+# and the search backends join because the engine/backend split moved
+# the search loops there and they drive the parallel evaluators.
 race:
 	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/worker/... \
 		./internal/store/... ./internal/core/... ./internal/spice/... ./internal/wcd/... \
-		./internal/evalcache/...
+		./internal/evalcache/... ./internal/coord/... ./internal/feasopt/... \
+		./internal/search/...
 
 # End-to-end smoke of the remote pull-worker binary path: one
 # remote-only manager behind httptest, one pull-worker, one verify job.

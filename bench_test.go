@@ -646,3 +646,27 @@ func BenchmarkAblationYieldVsBetaCentering(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkBackendsOTA runs the same reduced-scale OTA yield
+// optimization under every registered search backend, so the bench
+// record tracks the relative cost of the strategies side by side.
+func BenchmarkBackendsOTA(b *testing.B) {
+	for _, algo := range Algorithms() {
+		b.Run(algo, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Optimize(circuits.OTAProblem(), Options{
+					Algorithm:     algo,
+					ModelSamples:  1500,
+					VerifySamples: 80,
+					MaxIterations: 2,
+					Seed:          7,
+					HasSeed:       true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportYields(b, res)
+			}
+		})
+	}
+}

@@ -12,13 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"specwise"
 	"specwise/internal/yieldspec"
 )
 
 func main() {
-	circuit := flag.String("circuit", "foldedcascode", "circuit: foldedcascode, miller or ota")
+	circuit := flag.String("circuit", "foldedcascode", "circuit: "+strings.Join(specwise.Circuits(), ", "))
 	specFile := flag.String("spec", "", "analyze a JSON+netlist-defined problem instead")
 	top := flag.Int("top", 3, "pairs to list in the overall ranking")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -33,15 +34,10 @@ func main() {
 			os.Exit(2)
 		}
 	} else {
-		switch *circuit {
-		case "foldedcascode", "fc":
-			p = specwise.FoldedCascode()
-		case "miller":
-			p = specwise.Miller()
-		case "ota":
-			p = specwise.OTA()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown circuit %q\n", *circuit)
+		var err error
+		p, err = specwise.Circuit(*circuit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"specwise/internal/search"
 	"specwise/internal/worker"
 )
 
@@ -47,7 +48,16 @@ func main() {
 		"share one local evaluation cache across jobs claimed on the same problem (bit-identical results)")
 	evalCacheSize := flag.Int("eval-cache-size", 0,
 		"shared evaluation-cache capacity in entries (0 = default; requires -shared-eval-cache)")
+	listAlgorithms := flag.Bool("list-algorithms", false,
+		"print the search backends this worker can execute and exit")
 	flag.Parse()
+
+	if *listAlgorithms {
+		for _, algo := range search.Names() {
+			fmt.Println(algo)
+		}
+		return
+	}
 
 	if *name == "" {
 		host, err := os.Hostname()

@@ -50,10 +50,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"specwise/internal/core"
 	"specwise/internal/jobs"
+	"specwise/internal/search"
 	"specwise/internal/server"
 	"specwise/internal/store"
 )
@@ -84,20 +87,38 @@ func main() {
 		"share one evaluation cache across jobs on the same problem (sweep members reuse each other's simulations; bit-identical results)")
 	evalCacheSize := flag.Int("eval-cache-size", 0,
 		"shared evaluation-cache capacity in entries (0 = default; requires -shared-eval-cache)")
+	defaultAlgorithm := flag.String("default-algorithm", "",
+		"search backend stamped onto optimize jobs that omit options.algorithm "+
+			"(empty keeps requests untouched and request hashes byte-compatible; see -list-algorithms)")
+	listAlgorithms := flag.Bool("list-algorithms", false,
+		"print the registered search backends and exit")
 	flag.Parse()
 
+	if *listAlgorithms {
+		for _, name := range search.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *defaultAlgorithm != "" && !core.KnownBackend(*defaultAlgorithm) {
+		fmt.Fprintf(os.Stderr, "unknown -default-algorithm %q (registered: %s)\n",
+			*defaultAlgorithm, strings.Join(search.Names(), ", "))
+		os.Exit(2)
+	}
+
 	if err := run(*addr, *workerToken, *storePath, jobs.Config{
-		Workers:         *workers,
-		RemoteOnly:      *remoteOnly,
-		QueueSize:       *queue,
-		VerifyWorkers:   *verifyWorkers,
-		SweepWorkers:    *sweepWorkers,
-		LeaseTTL:        *leaseTTL,
-		RetainJobs:      *retainJobs,
-		RetainFor:       *retainFor,
-		SnapshotEvery:   *snapshotEvery,
-		SharedEvalCache: *sharedEvalCache,
-		EvalCacheSize:   *evalCacheSize,
+		Workers:          *workers,
+		RemoteOnly:       *remoteOnly,
+		QueueSize:        *queue,
+		VerifyWorkers:    *verifyWorkers,
+		SweepWorkers:     *sweepWorkers,
+		LeaseTTL:         *leaseTTL,
+		RetainJobs:       *retainJobs,
+		RetainFor:        *retainFor,
+		SnapshotEvery:    *snapshotEvery,
+		SharedEvalCache:  *sharedEvalCache,
+		EvalCacheSize:    *evalCacheSize,
+		DefaultAlgorithm: *defaultAlgorithm,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	yieldopt -circuit foldedcascode|miller|ota [-iters N] [-samples N]
-//	         [-verify N] [-seed N] [-no-constraints] [-nominal] [-v]
+//	yieldopt -circuit foldedcascode|miller|ota [-algorithm name] [-iters N]
+//	         [-samples N] [-verify N] [-seed N] [-no-constraints] [-nominal] [-v]
 //	yieldopt -spec problem.json [...]
 //
 // With -spec, the problem is built from a JSON + netlist definition (see
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"specwise"
 	"specwise/internal/report"
@@ -25,8 +26,9 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "ota", "circuit: foldedcascode, miller or ota")
+	circuit := flag.String("circuit", "ota", "circuit: "+strings.Join(specwise.Circuits(), ", "))
 	specFile := flag.String("spec", "", "build the problem from a JSON+netlist definition instead")
+	algorithm := flag.String("algorithm", "", "search backend: "+strings.Join(specwise.Algorithms(), ", ")+" (default feasguided)")
 	iters := flag.Int("iters", 3, "maximum accepted optimization iterations")
 	samples := flag.Int("samples", 10000, "Monte-Carlo samples over the linear models")
 	verify := flag.Int("verify", 300, "simulation-based verification samples")
@@ -48,15 +50,10 @@ func main() {
 			os.Exit(2)
 		}
 	} else {
-		switch *circuit {
-		case "foldedcascode", "fc":
-			p = specwise.FoldedCascode()
-		case "miller":
-			p = specwise.Miller()
-		case "ota":
-			p = specwise.OTA()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown circuit %q\n", *circuit)
+		var err error
+		p, err = specwise.Circuit(*circuit)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
@@ -67,6 +64,7 @@ func main() {
 		log = os.Stderr
 	}
 	res, err := specwise.Optimize(p, specwise.Options{
+		Algorithm:          *algorithm,
 		ModelSamples:       *samples,
 		VerifySamples:      *verify,
 		MaxIterations:      *iters,

@@ -6,6 +6,8 @@ import (
 
 	"specwise/internal/core"
 	"specwise/internal/report"
+
+	_ "specwise/internal/search" // register the search backends
 )
 
 // TestEndToEndOTA runs the full Fig.-6 flow on the small OTA; it must lift

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultAlgorithm is the backend an empty Options.Algorithm selects:
+// the paper's feasibility-guided coordinate search.
+const DefaultAlgorithm = "feasguided"
+
+// SearchBackend is the strategy half of the optimizer. The engine owns
+// everything a search has in common — problem instrumentation, the
+// evaluation cache, worst-case analysis, model building, Monte-Carlo
+// verification, progress plumbing and result assembly — while a backend
+// owns the search loop itself: where to move the design next and when
+// to stop. Backends are stateful per run; register a factory, not an
+// instance.
+//
+// The engine drives Init once, then Step until it reports done. A
+// backend records iteration states through Engine.Record as it goes
+// (Init records the initial state) and must check ctx inside Step at
+// whatever granularity it can cancel at. The determinism contract:
+// given a fixed seed every random draw must come from an rng stream
+// derived from Options.Seed, so a run is a pure function of
+// (problem, options) — bit-identical across machines and worker pools.
+type SearchBackend interface {
+	// Name identifies the backend in the registry and on results.
+	Name() string
+	// Init prepares the run: pick the starting design, analyze it and
+	// record the initial iteration state.
+	Init(ctx context.Context, e *Engine) error
+	// Step runs one search cycle. done reports that the search has
+	// converged (or exhausted its budget); the engine stops stepping.
+	Step(ctx context.Context, e *Engine) (done bool, err error)
+	// Final returns the design the run settled on, valid once Step
+	// reported done (or after the last successful Step when the run is
+	// cancelled).
+	Final() []float64
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]func() SearchBackend{}
+)
+
+// RegisterBackend adds a search backend to the registry, typically from
+// a backend package's init. Registering a duplicate name panics: the
+// name is the wire-level algorithm identifier, so a silent overwrite
+// would change what submitted requests mean.
+func RegisterBackend(name string, factory func() SearchBackend) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if name == "" || factory == nil {
+		panic("core: RegisterBackend with empty name or nil factory")
+	}
+	if _, dup := backends[name]; dup {
+		panic("core: RegisterBackend called twice for " + name)
+	}
+	backends[name] = factory
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	names := make([]string, 0, len(backends))
+	for name := range backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KnownBackend reports whether name resolves to a registered backend
+// (the empty name selects the default).
+func KnownBackend(name string) bool {
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	_, ok := backends[name]
+	return ok
+}
+
+// backendFor instantiates the backend for an algorithm name; "" selects
+// DefaultAlgorithm.
+func backendFor(name string) (SearchBackend, error) {
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	backendMu.RLock()
+	factory, ok := backends[name]
+	backendMu.RUnlock()
+	if !ok {
+		if reg := Backends(); len(reg) > 0 {
+			return nil, fmt.Errorf("core: unknown search algorithm %q (registered: %s)",
+				name, strings.Join(reg, ", "))
+		}
+		return nil, fmt.Errorf("core: unknown search algorithm %q (no backends registered; import specwise/internal/search)", name)
+	}
+	return factory(), nil
+}

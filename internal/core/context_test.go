@@ -57,78 +57,5 @@ func TestVerifyMCContextCancel(t *testing.T) {
 	}
 }
 
-func TestRunContextCancelStopsRun(t *testing.T) {
-	p := analyticProblem()
-	slow := *p
-	slow.Eval = func(d, s, th []float64) ([]float64, error) {
-		time.Sleep(100 * time.Microsecond)
-		return p.Eval(d, s, th)
-	}
-	opt, err := NewOptimizer(&slow, Options{
-		ModelSamples: 500, VerifySamples: 20000, MaxIterations: 8, Seed: 3,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan error, 1)
-	go func() {
-		_, err := opt.RunContext(ctx)
-		done <- err
-	}()
-	time.Sleep(20 * time.Millisecond) // let the run get in flight
-	start := time.Now()
-	cancel()
-	select {
-	case err := <-done:
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("err = %v, want context.Canceled", err)
-		}
-		if took := time.Since(start); took > 5*time.Second {
-			t.Errorf("cancellation latency %v", took)
-		}
-	case <-time.After(30 * time.Second):
-		t.Fatal("RunContext did not return after cancellation")
-	}
-}
-
-func TestProgressHookReportsIterations(t *testing.T) {
-	p := analyticProblem()
-	var events []ProgressEvent
-	res, err := NewAndRun(p, Options{
-		ModelSamples: 1000, VerifySamples: 100, MaxIterations: 2, Seed: 7,
-		Progress: func(e ProgressEvent) { events = append(events, e) },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(events) == 0 {
-		t.Fatal("no progress events")
-	}
-	if events[0].Stage != "initial" || events[0].Iteration != 0 {
-		t.Errorf("first event = %+v, want initial/0", events[0])
-	}
-	accepted := 0
-	for _, e := range events {
-		switch e.Stage {
-		case "initial", "accepted", "rejected":
-		default:
-			t.Errorf("unknown stage %q", e.Stage)
-		}
-		if e.Stage == "accepted" {
-			accepted++
-		}
-		if len(e.Design) != p.NumDesign() {
-			t.Errorf("event design has %d entries, want %d", len(e.Design), p.NumDesign())
-		}
-	}
-	// Every accepted event corresponds to one recorded iteration beyond
-	// the initial state.
-	if accepted != len(res.Iterations)-1 {
-		t.Errorf("%d accepted events, %d recorded iterations", accepted, len(res.Iterations))
-	}
-	last := events[len(events)-1]
-	if last.MCYield < 0 {
-		t.Error("verification was on; last event must carry an MC yield")
-	}
-}
+// The RunContext cancellation and Progress-hook tests moved to
+// internal/search/feasguided, which owns the loop they exercise.

@@ -2,15 +2,11 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"io"
-	"sync"
 
 	"specwise/internal/coord"
 	"specwise/internal/evalcache"
-	"specwise/internal/feasopt"
 	"specwise/internal/linmodel"
-	"specwise/internal/rng"
 	"specwise/internal/wcd"
 )
 
@@ -18,6 +14,12 @@ import (
 // setup: functional constraints on, worst-case linearization, mirrored
 // specs, 10,000 model samples and 300 verification samples.
 type Options struct {
+	// Algorithm selects the search backend driving the run. The empty
+	// string selects DefaultAlgorithm (the paper's feasibility-guided
+	// coordinate search); any other value must name a registered
+	// SearchBackend — importing specwise/internal/search registers the
+	// built-in set.
+	Algorithm string
 	// ModelSamples is N for the linear-model yield estimate (Eq. 17).
 	ModelSamples int
 	// VerifySamples is the simulation-based Monte-Carlo sample size.
@@ -154,8 +156,11 @@ type Iteration struct {
 // Result is the outcome of a full optimization run.
 type Result struct {
 	Problem *Problem
-	// Iterations[0] is the initial state; each further entry is the state
-	// after one linearize → search → line-search cycle.
+	// Algorithm names the search backend that produced the run.
+	Algorithm string
+	// Iterations[0] is the initial state; each further entry is a state
+	// the backend recorded along the way (for the default backend, one
+	// per accepted linearize → search → line-search cycle).
 	Iterations  []Iteration
 	FinalDesign []float64
 	// Simulations totals the full performance evaluations that actually
@@ -173,51 +178,28 @@ type Result struct {
 	Sim SimCounters
 }
 
-// Optimizer runs the paper's Fig.-6 algorithm.
+// Optimizer pairs the engine with a search backend. The default backend
+// runs the paper's Fig.-6 algorithm.
 type Optimizer struct {
-	problem *Problem
-	opts    Options
-	counter Counter
-	cache   evalcache.Wrapper // nil when Options.NoEvalCache is set
-	sim0    SimCounters       // simulator counters at construction time
-	p       *Problem          // instrumented (and possibly cached) copy
+	eng     *Engine
+	backend SearchBackend
 }
 
-// NewOptimizer validates the problem and prepares an instrumented copy.
-// Unless Options.NoEvalCache is set, evaluations are memoized: the
-// counter sits between the cache and the simulator, so Result.Simulations
-// counts only evaluations that actually ran.
+// NewOptimizer validates the problem, resolves the search backend named
+// by Options.Algorithm and prepares an instrumented engine. Unless
+// Options.NoEvalCache is set, evaluations are memoized: the counter sits
+// between the cache and the simulator, so Result.Simulations counts only
+// evaluations that actually ran.
 func NewOptimizer(problem *Problem, opts Options) (*Optimizer, error) {
 	if err := problem.Validate(); err != nil {
 		return nil, err
 	}
 	opts.defaults()
-	o := &Optimizer{problem: problem, opts: opts}
-	o.p = o.counter.Instrument(problem)
-	if !opts.NoEvalCache {
-		if opts.EvalCache != nil {
-			o.cache = opts.EvalCache
-		} else {
-			o.cache = evalcache.New(opts.EvalCacheSize)
-		}
-		o.p = o.cache.Wrap(o.p)
+	backend, err := backendFor(opts.Algorithm)
+	if err != nil {
+		return nil, err
 	}
-	if opts.NoConstraints {
-		o.p.Constraints = nil
-	}
-	if problem.SimConfigure != nil {
-		problem.SimConfigure(SimOptions{SweepWorkers: opts.SweepWorkers})
-	}
-	if problem.SimStats != nil {
-		o.sim0 = problem.SimStats()
-	}
-	return o, nil
-}
-
-func (o *Optimizer) logf(format string, args ...any) {
-	if o.opts.Log != nil {
-		fmt.Fprintf(o.opts.Log, format+"\n", args...)
-	}
+	return &Optimizer{eng: newEngine(problem, opts), backend: backend}, nil
 }
 
 // Run executes the optimization without external cancellation; see
@@ -226,301 +208,21 @@ func (o *Optimizer) Run() (*Result, error) {
 	return o.RunContext(context.Background())
 }
 
-// emit forwards a progress event to the Options.Progress hook, if set.
-func (o *Optimizer) emit(stage string, iteration, attempt int, it *Iteration) {
-	if o.opts.Progress == nil {
-		return
-	}
-	o.opts.Progress(ProgressEvent{
-		Stage:      stage,
-		Iteration:  iteration,
-		Attempt:    attempt,
-		ModelYield: it.ModelYield,
-		MCYield:    it.MCYield,
-		Design:     append([]float64(nil), it.Design...),
-	})
-}
-
-// RunContext executes: feasible start (Sec. 5.5), then MaxIterations
-// cycles of constraint linearization (Eq. 15), worst-case analysis
-// (Eqs. 2 and 8), spec-wise linearization (Eq. 16, with Eqs. 21–22
-// mirrors), sampled-yield coordinate search (Eqs. 17–20) and a
-// simulation-based line search (Eq. 23). The state before each cycle —
-// and the final state — is recorded, so a run with MaxIterations=2
-// yields the three table blocks.
+// RunContext executes the selected search backend against the engine:
+// Init finds and analyzes the starting point, then Step runs search
+// cycles until the backend converges. With the default feasguided
+// backend this is the paper's algorithm — feasible start (Sec. 5.5),
+// then MaxIterations cycles of constraint linearization (Eq. 15),
+// worst-case analysis (Eqs. 2 and 8), spec-wise linearization (Eq. 16,
+// with Eqs. 21–22 mirrors), sampled-yield coordinate search
+// (Eqs. 17–20) and a simulation-based line search (Eq. 23) — so a run
+// with MaxIterations=2 yields the three table blocks.
 //
 // Cancelling ctx stops the run promptly — between optimizer stages and
 // between individual Monte-Carlo verification samples — and returns
 // ctx.Err().
 func (o *Optimizer) RunContext(ctx context.Context) (*Result, error) {
-	p := o.p
-	opts := o.opts
-	res := &Result{Problem: o.problem}
-
-	// Initial step: find a feasible starting point.
-	d := p.InitialDesign()
-	if p.Constraints != nil {
-		df, err := feasopt.FeasibleStart(p, d, 0)
-		if err != nil {
-			o.logf("feasible start: %v (continuing from best effort)", err)
-		}
-		if df != nil {
-			d = df
-		}
-	}
-
-	seed := opts.Seed
-	coordOpts := opts.Coord
-
-	// score ranks iteration states: verified yield when available,
-	// model-estimated yield otherwise.
-	score := func(it *Iteration) float64 {
-		if opts.SkipVerify {
-			return it.ModelYield
-		}
-		return it.MCYield
-	}
-
-	cur, _, est, err := o.analyze(ctx, d, seed)
-	if err != nil {
-		return nil, err
-	}
-	o.logf("initial: model yield %.4f, MC yield %.4f", cur.ModelYield, cur.MCYield)
-	res.Iterations = append(res.Iterations, *cur)
-	o.emit("initial", 0, 0, cur)
-
-	rejections := 0
-	for accepted, attempt := 0, 0; accepted < opts.MaxIterations && attempt < opts.MaxIterations+4; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Linearize the feasibility region at the current point (Eq. 15).
-		var lc *coord.LinearConstraints
-		if p.Constraints != nil {
-			lc, err = feasopt.Linearize(p, d, 0)
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		// Maximize the sampled yield estimate by coordinate search.
-		sr := coord.Search(designBox(p), est, lc, d, coordOpts)
-		o.logf("attempt %d: coordinate search yield %.4f after %d passes", attempt, sr.Yield, sr.Passes)
-		if !sr.Moved {
-			o.logf("attempt %d: no improving move found; stopping", attempt)
-			break
-		}
-
-		// Pull the optimum back into the true feasibility region (Eq. 23).
-		var dNew []float64
-		if p.Constraints != nil {
-			gamma, dn, err := feasopt.LineSearch(p, d, sr.D, 0)
-			if err != nil {
-				return nil, err
-			}
-			o.logf("attempt %d: line search gamma %.3f", attempt, gamma)
-			dNew = dn
-		} else {
-			dNew = p.ClampDesign(sr.D)
-		}
-
-		next, _, estNew, err := o.analyze(ctx, dNew, seed+uint64(attempt)+1)
-		if err != nil {
-			return nil, err
-		}
-		o.logf("attempt %d: model yield %.4f, MC yield %.4f", attempt, next.ModelYield, next.MCYield)
-
-		// Accept/reject: the loop runs "until no further improvement of
-		// the yield". A step that loses yield is rejected; the design
-		// stays put, the trust region shrinks (the models were
-		// over-trusted) and the search reuses the current models.
-		if score(next) < score(cur)-0.02 {
-			newTrust := trustOf(coordOpts) / 2
-			rejections++
-			o.logf("attempt %d: yield regressed (%.4f < %.4f); trust -> %.2f",
-				attempt, score(next), score(cur), newTrust)
-			o.emit("rejected", accepted, attempt+1, next)
-			if newTrust < 1.2 || rejections > 3 {
-				break
-			}
-			coordOpts.TrustFactor = newTrust
-			if coordOpts.TrustFrac <= 0 {
-				coordOpts.TrustFrac = 0.35
-			}
-			coordOpts.TrustFrac /= 2
-			continue
-		}
-		d = dNew
-		cur, est = next, estNew
-		res.Iterations = append(res.Iterations, *cur)
-		accepted++
-		o.emit("accepted", accepted, attempt+1, cur)
-	}
-
-	res.FinalDesign = d
-	res.Simulations = o.counter.Evals()
-	res.ConstraintSims = o.counter.ConstraintEvals()
-	if o.cache != nil {
-		res.EvalCache = o.cache.Stats()
-	}
-	if o.problem.SimStats != nil {
-		// Report only this run's share of the (problem-cumulative)
-		// simulator counters.
-		now := o.problem.SimStats()
-		res.Sim = SimCounters{
-			WarmStarts:     now.WarmStarts - o.sim0.WarmStarts,
-			WarmConverged:  now.WarmConverged - o.sim0.WarmConverged,
-			Fallbacks:      now.Fallbacks - o.sim0.Fallbacks,
-			NewtonIters:    now.NewtonIters - o.sim0.NewtonIters,
-			Solver:         now.Solver,
-			Factorizations: now.Factorizations - o.sim0.Factorizations,
-			Solves:         now.Solves - o.sim0.Solves,
-			SymbolicFacts:  now.SymbolicFacts - o.sim0.SymbolicFacts,
-			MatrixNNZ:      now.MatrixNNZ,
-			FactorNNZ:      now.FactorNNZ,
-			DCSolveNanos:   now.DCSolveNanos - o.sim0.DCSolveNanos,
-			ACSolveNanos:   now.ACSolveNanos - o.sim0.ACSolveNanos,
-			TranSolveNanos: now.TranSolveNanos - o.sim0.TranSolveNanos,
-		}
-	}
-	return res, nil
-}
-
-// trustOf reads the effective trust factor from coordinate options.
-func trustOf(o coord.Options) float64 {
-	if o.TrustFactor <= 0 {
-		return 2.5
-	}
-	return o.TrustFactor
-}
-
-// designBox extracts the design-space box constraint for the search.
-func designBox(p *Problem) coord.Box {
-	box := coord.Box{
-		Lo:  make([]float64, p.NumDesign()),
-		Hi:  make([]float64, p.NumDesign()),
-		Log: make([]bool, p.NumDesign()),
-	}
-	for k, prm := range p.Design {
-		box.Lo[k], box.Hi[k], box.Log[k] = prm.Lo, prm.Hi, prm.LogScale
-	}
-	return box
-}
-
-// analyze performs the worst-case analysis and model build at design d and
-// assembles the iteration record (including the optional MC verification).
-func (o *Optimizer) analyze(ctx context.Context, d []float64, seed uint64) (*Iteration, []*linmodel.SpecModel, *linmodel.Estimator, error) {
-	p := o.p
-	opts := o.opts
-	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, err
-	}
-
-	// Worst-case operating points (Eq. 2) at the nominal statistical point.
-	zeroS := make([]float64, p.NumStat())
-	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	if err := wcd.RefineTheta(p, d, zeroS, thetaRes, opts.RefineThetaPasses); err != nil {
-		return nil, nil, nil, err
-	}
-
-	// Worst-case statistical points (Eq. 8) per spec. The searches are
-	// independent, so they run concurrently (the paper used a machine
-	// cluster for the same reason); seeds are per-spec, so the result is
-	// identical to the serial run.
-	wcs := make([]*wcd.WorstCase, p.NumSpecs())
-	wcErrs := make([]error, p.NumSpecs())
-	var wg sync.WaitGroup
-	for i := range p.Specs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			theta := thetaRes.PerSpec[i]
-			marginFn := func(s []float64) (float64, error) {
-				if err := ctx.Err(); err != nil {
-					return 0, err
-				}
-				vals, err := p.Eval(d, s, theta)
-				if err != nil {
-					return 0, err
-				}
-				return p.Specs[i].Margin(vals[i]), nil
-			}
-			wcOpts := opts.WC
-			if wcOpts.Seed == 0 {
-				wcOpts.Seed = seed + uint64(i)*1000003
-			} else {
-				// A pinned WC seed (Options.WC.Seed) decouples the restart
-				// stream from the run seed: the search becomes a pure
-				// function of (d, spec), so seed sweeps vary only their
-				// sampling streams — and share the WC simulations.
-				wcOpts.Seed = opts.WC.Seed + uint64(i)*1000003
-			}
-			wcs[i], wcErrs[i] = wcd.FindWorstCase(marginFn, p.NumStat(), wcOpts)
-		}()
-	}
-	wg.Wait()
-	for _, err := range wcErrs {
-		if err != nil {
-			return nil, nil, nil, err
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, nil, err
-	}
-
-	// Spec-wise linear models (Eq. 16 / Eqs. 21–22).
-	models, err := linmodel.Build(p, d, wcs, thetaRes.PerSpec, linmodel.BuildOptions{
-		MirrorSpecs:    !opts.NoMirrorSpecs && !opts.LinearizeAtNominal,
-		AtNominal:      opts.LinearizeAtNominal,
-		QuadraticSpecs: opts.QuadraticSpecs,
-	})
-	if err != nil {
-		return nil, nil, nil, err
-	}
-
-	var est *linmodel.Estimator
-	if opts.LHS {
-		est = linmodel.NewEstimatorLHS(models, p.NumStat(), opts.ModelSamples, rng.New(seed))
-	} else {
-		est = linmodel.NewEstimator(models, p.NumStat(), opts.ModelSamples, rng.New(seed))
-	}
-	pass, bad := est.Count(d)
-
-	iter := &Iteration{
-		Design:     append([]float64(nil), d...),
-		Specs:      make([]SpecState, p.NumSpecs()),
-		ModelYield: float64(pass) / float64(est.N),
-		WorstCases: wcs,
-		Models:     models,
-	}
-	for i := range p.Specs {
-		iter.Specs[i] = SpecState{
-			NominalMargin: thetaRes.Margins[i],
-			BadPerMille:   1000 * float64(bad[i]) / float64(est.N),
-			Beta:          wcs[i].Beta,
-			ThetaWc:       thetaRes.PerSpec[i],
-		}
-	}
-
-	iter.MCYield = -1
-	if !opts.SkipVerify {
-		mc, err := VerifyMCContext(ctx, p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef, opts.VerifyWorkers)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		iter.MCResult = mc
-		iter.MCYield = mc.Estimate.Yield()
-		for i := range p.Specs {
-			iter.Specs[i].MCMean = mc.Moments[i].Mean()
-			iter.Specs[i].MCSigma = mc.Moments[i].Sigma()
-			iter.Specs[i].MCBad = mc.BadPerSpec[i]
-		}
-	}
-	return iter, models, est, nil
+	return o.eng.run(ctx, o.backend)
 }
 
 // NewAndRun is a convenience wrapper: validate, construct and run.

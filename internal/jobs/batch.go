@@ -135,6 +135,7 @@ func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
 	problems := make(map[string]*core.Problem) // problemHash → resolved, once
 	for i := range reqs {
 		mr := memberReq{req: reqs[i]}
+		m.stampDefaults(&mr.req)
 		if err := mr.req.Normalize(); err != nil {
 			return nil, fmt.Errorf("jobs: batch member %d: %w", i, err)
 		}

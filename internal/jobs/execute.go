@@ -7,6 +7,11 @@ import (
 	"specwise/internal/evalcache"
 	"specwise/internal/report"
 	"specwise/internal/wcd"
+
+	// Register the built-in search backends: any process that executes
+	// jobs — the daemon's local pool and the remote pull-workers alike —
+	// must resolve every algorithm a request may name.
+	_ "specwise/internal/search"
 )
 
 // ExecEnv carries pool-level execution defaults. Every knob here is

@@ -41,9 +41,15 @@ const (
 // RunOptions is the JSON-facing subset of core.Options a request may set.
 // Zero values fall back to the optimizer's paper defaults.
 type RunOptions struct {
-	ModelSamples  int `json:"modelSamples,omitempty"`
-	VerifySamples int `json:"verifySamples,omitempty"`
-	MaxIterations int `json:"maxIterations,omitempty"`
+	// Algorithm selects the search backend for optimize jobs; empty means
+	// the default (feasguided). The omitempty marshalling keeps the
+	// content hash of algorithm-less requests byte-identical to the
+	// pre-field encoding, so existing cache entries and journaled
+	// requests stay reachable.
+	Algorithm     string `json:"algorithm,omitempty"`
+	ModelSamples  int    `json:"modelSamples,omitempty"`
+	VerifySamples int    `json:"verifySamples,omitempty"`
+	MaxIterations int    `json:"maxIterations,omitempty"`
 	// Seed is a pointer so "unset" (nil, the paper's default stream) is
 	// distinguishable from an explicit seed 0. The omitempty marshalling
 	// keeps the content hash of seedless and nonzero-seed requests
@@ -99,6 +105,7 @@ func (o RunOptions) Core() core.Options {
 		}
 	}
 	return core.Options{
+		Algorithm:          o.Algorithm,
 		WC:                 wc,
 		ModelSamples:       o.ModelSamples,
 		VerifySamples:      o.VerifySamples,
@@ -126,7 +133,10 @@ type Request struct {
 	Options RunOptions      `json:"options"`
 }
 
-// Normalize fills defaults and checks structural validity.
+// Normalize fills defaults and checks structural validity, including
+// that every set option is one the requested kind (and algorithm) can
+// honor — a verify job that names an optimizer knob is rejected up
+// front rather than silently ignoring it.
 func (r *Request) Normalize() error {
 	switch r.Kind {
 	case "":
@@ -141,7 +151,47 @@ func (r *Request) Normalize() error {
 	if hasCircuit == hasSpec {
 		return fmt.Errorf("jobs: exactly one of circuit or spec is required")
 	}
+	r.Options.Algorithm = strings.ToLower(strings.TrimSpace(r.Options.Algorithm))
+	switch r.Kind {
+	case KindOptimize:
+		if !core.KnownBackend(r.Options.Algorithm) {
+			return fmt.Errorf("jobs: unknown search algorithm %q (registered: %s)",
+				r.Options.Algorithm, strings.Join(core.Backends(), ", "))
+		}
+	case KindVerify:
+		// A verify job runs the Monte-Carlo yield check at the initial
+		// design: only verifySamples, seed and verifyWorkers take effect.
+		// Every optimizer-only option is a request-level contradiction.
+		if ignored := r.Options.verifyIgnored(); len(ignored) > 0 {
+			return fmt.Errorf("jobs: kind %q cannot honor option(s) %s (verify runs only the Monte-Carlo check; use kind %q)",
+				KindVerify, strings.Join(ignored, ", "), KindOptimize)
+		}
+	}
 	return nil
+}
+
+// verifyIgnored lists the set options a verify-kind job would silently
+// ignore, by their wire names.
+func (o RunOptions) verifyIgnored() []string {
+	var bad []string
+	add := func(set bool, name string) {
+		if set {
+			bad = append(bad, name)
+		}
+	}
+	add(o.Algorithm != "", "algorithm")
+	add(o.ModelSamples != 0, "modelSamples")
+	add(o.MaxIterations != 0, "maxIterations")
+	add(o.WCSeed != nil, "wcSeed")
+	add(o.NoConstraints, "noConstraints")
+	add(o.LinearizeAtNominal, "linearizeAtNominal")
+	add(o.NoMirrorSpecs, "noMirrorSpecs")
+	add(o.SkipVerify, "skipVerify")
+	add(o.LHS, "lhs")
+	add(o.QuadraticSpecs, "quadraticSpecs")
+	add(o.RefineThetaPasses != 0, "refineThetaPasses")
+	add(o.SweepWorkers != 0, "sweepWorkers")
+	return bad
 }
 
 // Hash returns the deterministic content hash that keys the result

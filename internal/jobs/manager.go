@@ -81,6 +81,13 @@ type Config struct {
 	// recently used completed entry is evicted past the cap
 	// (0 selects evalcache.DefaultMaxEntries).
 	EvalCacheSize int
+	// DefaultAlgorithm, when non-empty, is stamped onto optimize-kind
+	// requests that omit options.algorithm before they are normalized
+	// and hashed. Stamping changes the request hash — a daemon
+	// configured with a non-default backend serves a distinct cache
+	// namespace by design. Empty (the default) leaves requests
+	// untouched, keeping hashes byte-compatible with earlier releases.
+	DefaultAlgorithm string
 	// Resolve overrides problem resolution; tests inject cheap synthetic
 	// problems here. nil uses the built-in circuits and yieldspec.
 	Resolve func(req *Request) (*core.Problem, error)
@@ -137,22 +144,13 @@ func (c *Config) defaults() {
 	}
 }
 
-// ResolveProblem is the default problem resolver: a built-in circuit
-// name or an inline yieldspec document. Inline specs must carry their
-// netlist inline too — a service request has no base directory to
-// resolve file references against.
+// ResolveProblem is the default problem resolver: a registered circuit
+// name (see circuits.Register) or an inline yieldspec document. Inline
+// specs must carry their netlist inline too — a service request has no
+// base directory to resolve file references against.
 func ResolveProblem(req *Request) (*core.Problem, error) {
 	if req.Circuit != "" {
-		switch req.Circuit {
-		case "foldedcascode", "fc":
-			return circuits.FoldedCascodeProblem(), nil
-		case "miller":
-			return circuits.MillerProblem(), nil
-		case "ota":
-			return circuits.OTAProblem(), nil
-		default:
-			return nil, fmt.Errorf("jobs: unknown circuit %q (want foldedcascode, miller or ota)", req.Circuit)
-		}
+		return circuits.Build(req.Circuit)
 	}
 	return yieldspec.Parse(bytes.NewReader(req.Spec), ".")
 }
@@ -303,6 +301,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if err := m.ctx.Err(); err != nil {
 		return nil, ErrClosed
 	}
+	m.stampDefaults(&req)
 	if err := req.Normalize(); err != nil {
 		return nil, err
 	}
@@ -384,6 +383,20 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.metrics.queued.Add(1)
 	m.wakeOne()
 	return job, nil
+}
+
+// stampDefaults applies manager-level request defaults ahead of
+// normalization: an optimize-kind request that omits the algorithm
+// picks up the configured default backend. Requests that name an
+// algorithm — and verify-kind requests, which have none — pass through
+// untouched.
+func (m *Manager) stampDefaults(req *Request) {
+	if m.cfg.DefaultAlgorithm == "" || req.Options.Algorithm != "" {
+		return
+	}
+	if req.Kind == "" || req.Kind == KindOptimize {
+		req.Options.Algorithm = m.cfg.DefaultAlgorithm
+	}
 }
 
 // wakeOne nudges one sleeping local worker; a dropped signal is fine
@@ -642,6 +655,9 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 	case StateDone:
 		m.metrics.done.Add(1)
 		if j.result != nil {
+			if j.result.Optimization != nil {
+				m.metrics.noteAlgoDone(j.result.Optimization)
+			}
 			m.cacheStoreLocked(j.hash, j.result, j.id)
 		}
 	case StateCanceled:

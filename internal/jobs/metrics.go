@@ -10,6 +10,7 @@ import (
 
 	"specwise/internal/core"
 	"specwise/internal/evalcache"
+	"specwise/internal/report"
 )
 
 // Metrics holds the service counters exported on GET /metrics. All
@@ -60,6 +61,13 @@ type Metrics struct {
 	// Per-shard (per remote worker) counters, keyed by worker name.
 	wmu         sync.Mutex
 	workerStats map[string]*WorkerStat
+
+	// Per-algorithm (search backend) counters over done optimize jobs,
+	// keyed by backend name; wherever a job ran — local pool, remote
+	// worker or the result cache — its settlement is attributed to the
+	// backend stamped on the result.
+	amu       sync.Mutex
+	algoStats map[string]*AlgoStat
 
 	// Per-evaluation reuse counters aggregated over completed
 	// optimization runs: the in-run memoization cache and the DC
@@ -115,6 +123,55 @@ func (m *Metrics) noteRun(res *core.Result) {
 	if res.Sim.FactorNNZ != 0 {
 		m.solverFactorNNZ.Store(res.Sim.FactorNNZ)
 	}
+}
+
+// AlgoStat aggregates one search backend's shard of the optimize
+// traffic: jobs settled done, accepted iterations and circuit
+// simulations across their results.
+type AlgoStat struct {
+	Done        atomic.Int64
+	Iterations  atomic.Int64
+	Simulations atomic.Int64
+}
+
+// algoStat returns (creating on first use) the named backend's shard.
+func (m *Metrics) algoStat(name string) *AlgoStat {
+	m.amu.Lock()
+	defer m.amu.Unlock()
+	if m.algoStats == nil {
+		m.algoStats = make(map[string]*AlgoStat)
+	}
+	as := m.algoStats[name]
+	if as == nil {
+		as = &AlgoStat{}
+		m.algoStats[name] = as
+	}
+	return as
+}
+
+// AlgoStats snapshots the per-backend shards, keyed by algorithm name.
+func (m *Metrics) AlgoStats() map[string]*AlgoStat {
+	m.amu.Lock()
+	defer m.amu.Unlock()
+	out := make(map[string]*AlgoStat, len(m.algoStats))
+	for name, as := range m.algoStats {
+		out[name] = as
+	}
+	return out
+}
+
+// noteAlgoDone attributes one done optimize job to its search backend.
+// Results written before the algorithm field existed count under the
+// default backend, which is what produced them.
+func (m *Metrics) noteAlgoDone(opt *report.Result) {
+	name := opt.Algorithm
+	if name == "" {
+		name = core.DefaultAlgorithm
+	}
+	as := m.algoStat(name)
+	as.Done.Add(1)
+	as.Iterations.Add(int64(len(opt.Iterations)))
+	as.Simulations.Add(opt.Simulations)
 }
 
 // WorkerStat aggregates one remote worker's shard of the pull protocol.
@@ -212,6 +269,15 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_jobs_queued %d\n", m.queued.Load())
 	fmt.Fprintf(w, "specwised_jobs_running %d\n", m.running.Load())
 	fmt.Fprintf(w, "specwised_jobs_done_total %d\n", m.done.Load())
+	m.amu.Lock()
+	algos := make([]string, 0, len(m.algoStats))
+	for name := range m.algoStats {
+		algos = append(algos, name)
+	}
+	sort.Strings(algos)
+	for _, name := range algos {
+		fmt.Fprintf(w, "specwised_jobs_done_total{algorithm=%q} %d\n", name, m.algoStats[name].Done.Load())
+	}
 	fmt.Fprintf(w, "specwised_jobs_failed_total %d\n", m.failed.Load())
 	fmt.Fprintf(w, "specwised_jobs_canceled_total %d\n", m.canceled.Load())
 	fmt.Fprintf(w, "specwised_jobs_tracked %d\n", m.jobsTracked.Load())
@@ -224,6 +290,12 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_claims_total %d\n", m.claims.Load())
 	fmt.Fprintf(w, "specwised_leases_active %d\n", m.leasesActive.Load())
 	fmt.Fprintf(w, "specwised_lease_expiries_total %d\n", m.leaseExpiries.Load())
+	for _, name := range algos {
+		as := m.algoStats[name]
+		fmt.Fprintf(w, "specwised_algorithm_iterations_total{algorithm=%q} %d\n", name, as.Iterations.Load())
+		fmt.Fprintf(w, "specwised_algorithm_simulations_total{algorithm=%q} %d\n", name, as.Simulations.Load())
+	}
+	m.amu.Unlock()
 	fmt.Fprintf(w, "specwised_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "specwised_cache_warm_hits_total %d\n", m.cacheWarmHits.Load())
 	fmt.Fprintf(w, "specwised_cache_evictions_total %d\n", m.cacheEvictions.Load())

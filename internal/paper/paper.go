@@ -18,6 +18,7 @@ import (
 	"specwise/internal/linmodel"
 	"specwise/internal/mismatch"
 	"specwise/internal/rng"
+	_ "specwise/internal/search" // register the search backends
 	"specwise/internal/wcd"
 )
 

@@ -88,7 +88,11 @@ type Perf struct {
 
 // Result is the full JSON-serializable record of an optimization run.
 type Result struct {
-	Problem        string            `json:"problem"`
+	Problem string `json:"problem"`
+	// Algorithm names the search backend that produced the run
+	// ("feasguided", "cem", ...). omitempty keeps results written before
+	// the field existed byte-stable on re-marshal.
+	Algorithm      string            `json:"algorithm,omitempty"`
 	Specs          []SpecInfo        `json:"specs"`
 	Iterations     []IterationRecord `json:"iterations"`
 	FinalDesign    []DesignValue     `json:"finalDesign"`
@@ -154,6 +158,7 @@ func JSONResult(res *core.Result) *Result {
 	p := res.Problem
 	out := &Result{
 		Problem:        p.Name,
+		Algorithm:      res.Algorithm,
 		Simulations:    res.Simulations,
 		ConstraintSims: res.ConstraintSims,
 		Perf: Perf{

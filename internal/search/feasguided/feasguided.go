@@ -1,0 +1,170 @@
+// Package feasguided is the default search backend: the paper's
+// feasibility-guided coordinate search (Fig. 6). Each step linearizes
+// the feasibility region at the current point (Eq. 15), maximizes the
+// sampled model-yield estimate by coordinate search inside the
+// linearized region (Eqs. 17–20), pulls the optimum back into the true
+// region with a simulation-based line search (Eq. 23), re-analyzes, and
+// accepts or rejects on verified yield — shrinking the trust region on
+// rejection. The trajectory is bit-identical to the pre-split
+// core.Optimizer: same seed derivations, same stopping rules, enforced
+// by the determinism suite and the jobs-layer golden-result test.
+package feasguided
+
+import (
+	"context"
+
+	"specwise/internal/coord"
+	"specwise/internal/core"
+	"specwise/internal/feasopt"
+	"specwise/internal/linmodel"
+)
+
+// Name is the backend's registry and wire identifier.
+const Name = "feasguided"
+
+func init() {
+	core.RegisterBackend(Name, func() core.SearchBackend { return &Backend{} })
+}
+
+// Backend holds one run's search state: the current design, its
+// analysis, and the trust-region/rejection bookkeeping of the
+// accept/reject loop.
+type Backend struct {
+	d          []float64
+	cur        *core.Iteration
+	est        *linmodel.Estimator
+	coordOpts  coord.Options
+	accepted   int
+	attempt    int
+	rejections int
+}
+
+// Name implements core.SearchBackend.
+func (b *Backend) Name() string { return Name }
+
+// score ranks iteration states: verified yield when available,
+// model-estimated yield otherwise.
+func score(skipVerify bool, it *core.Iteration) float64 {
+	if skipVerify {
+		return it.ModelYield
+	}
+	return it.MCYield
+}
+
+// trustOf reads the effective trust factor from coordinate options.
+func trustOf(o coord.Options) float64 {
+	if o.TrustFactor <= 0 {
+		return 2.5
+	}
+	return o.TrustFactor
+}
+
+// Init finds a feasible starting point (Sec. 5.5), analyzes it and
+// records the initial iteration state.
+func (b *Backend) Init(ctx context.Context, e *core.Engine) error {
+	p := e.Problem()
+	opts := e.Options()
+
+	d := p.InitialDesign()
+	if p.Constraints != nil {
+		df, err := feasopt.FeasibleStart(p, d, 0)
+		if err != nil {
+			e.Logf("feasible start: %v (continuing from best effort)", err)
+		}
+		if df != nil {
+			d = df
+		}
+	}
+	b.coordOpts = opts.Coord
+
+	cur, _, est, err := e.Analyze(ctx, d, opts.Seed)
+	if err != nil {
+		return err
+	}
+	e.Logf("initial: model yield %.4f, MC yield %.4f", cur.ModelYield, cur.MCYield)
+	e.Record(cur)
+	e.Emit("initial", 0, 0, cur)
+	b.d, b.cur, b.est = d, cur, est
+	return nil
+}
+
+// Step runs one linearize → coordinate-search → line-search → analyze
+// cycle. The loop runs "until no further improvement of the yield": a
+// step that loses yield is rejected; the design stays put, the trust
+// region shrinks (the models were over-trusted) and the search reuses
+// the current models.
+func (b *Backend) Step(ctx context.Context, e *core.Engine) (bool, error) {
+	opts := e.Options()
+	if b.accepted >= opts.MaxIterations || b.attempt >= opts.MaxIterations+4 {
+		return true, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	attempt := b.attempt
+	b.attempt++
+
+	p := e.Problem()
+	// Linearize the feasibility region at the current point (Eq. 15).
+	var lc *coord.LinearConstraints
+	if p.Constraints != nil {
+		var err error
+		lc, err = feasopt.Linearize(p, b.d, 0)
+		if err != nil {
+			return false, err
+		}
+	}
+
+	// Maximize the sampled yield estimate by coordinate search.
+	sr := coord.Search(e.DesignBox(), b.est, lc, b.d, b.coordOpts)
+	e.Logf("attempt %d: coordinate search yield %.4f after %d passes", attempt, sr.Yield, sr.Passes)
+	if !sr.Moved {
+		e.Logf("attempt %d: no improving move found; stopping", attempt)
+		return true, nil
+	}
+
+	// Pull the optimum back into the true feasibility region (Eq. 23).
+	var dNew []float64
+	if p.Constraints != nil {
+		gamma, dn, err := feasopt.LineSearch(p, b.d, sr.D, 0)
+		if err != nil {
+			return false, err
+		}
+		e.Logf("attempt %d: line search gamma %.3f", attempt, gamma)
+		dNew = dn
+	} else {
+		dNew = p.ClampDesign(sr.D)
+	}
+
+	next, _, estNew, err := e.Analyze(ctx, dNew, opts.Seed+uint64(attempt)+1)
+	if err != nil {
+		return false, err
+	}
+	e.Logf("attempt %d: model yield %.4f, MC yield %.4f", attempt, next.ModelYield, next.MCYield)
+
+	if score(opts.SkipVerify, next) < score(opts.SkipVerify, b.cur)-0.02 {
+		newTrust := trustOf(b.coordOpts) / 2
+		b.rejections++
+		e.Logf("attempt %d: yield regressed (%.4f < %.4f); trust -> %.2f",
+			attempt, score(opts.SkipVerify, next), score(opts.SkipVerify, b.cur), newTrust)
+		e.Emit("rejected", b.accepted, attempt+1, next)
+		if newTrust < 1.2 || b.rejections > 3 {
+			return true, nil
+		}
+		b.coordOpts.TrustFactor = newTrust
+		if b.coordOpts.TrustFrac <= 0 {
+			b.coordOpts.TrustFrac = 0.35
+		}
+		b.coordOpts.TrustFrac /= 2
+		return false, nil
+	}
+	b.d = dNew
+	b.cur, b.est = next, estNew
+	e.Record(b.cur)
+	b.accepted++
+	e.Emit("accepted", b.accepted, attempt+1, b.cur)
+	return false, nil
+}
+
+// Final returns the last accepted design.
+func (b *Backend) Final() []float64 { return b.d }

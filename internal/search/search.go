@@ -1,0 +1,18 @@
+// Package search ties the pluggable search backends together: importing
+// it (even blank) registers every built-in backend with the core
+// registry. The engine half of the optimizer lives in internal/core;
+// each strategy lives in its own subpackage and self-registers via
+// core.RegisterBackend, so adding a backend means adding a subpackage
+// and listing it here — no engine changes.
+package search
+
+import (
+	"specwise/internal/core"
+
+	// Built-in backends; each init registers itself.
+	_ "specwise/internal/search/cem"
+	_ "specwise/internal/search/feasguided"
+)
+
+// Names returns the registered backend names, sorted.
+func Names() []string { return core.Backends() }

@@ -1,0 +1,115 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"specwise/internal/jobs"
+)
+
+// cemBody requests the cross-entropy backend by name; everything else
+// mirrors the quick OTA request the other e2e tests use.
+const cemBody = `{"circuit": "ota",
+  "options": {"algorithm": "cem", "modelSamples": 400, "verifySamples": 40, "maxIterations": 1, "seed": 9}}`
+
+// runJob posts body, polls to done and returns the result envelope.
+func runJob(t *testing.T, ts *httptest.Server, body string) *jobs.Result {
+	t.Helper()
+	code, ack := postJob(t, ts, body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %v", code, ack)
+	}
+	id := ack["id"].(string)
+	st := pollDone(t, ts, id, 120*time.Second)
+	if st.State != jobs.StateDone {
+		t.Fatalf("job ended %s (error %q)", st.State, st.Error)
+	}
+	var res jobs.Result
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &res); code != http.StatusOK {
+		t.Fatalf("result: code %d", code)
+	}
+	return &res
+}
+
+// TestCEMJobEndToEnd drives an "algorithm": "cem" job through the full
+// HTTP API on both worker pools — the in-process pool and a remote
+// pull-worker — and checks the two produce the same algorithm-stamped
+// result: the backend abstraction holds wherever a job runs.
+func TestCEMJobEndToEnd(t *testing.T) {
+	local, _ := newTestServer(t, jobs.Config{Workers: 2})
+	localRes := runJob(t, local, cemBody)
+	if localRes.Optimization == nil || localRes.Optimization.Algorithm != "cem" {
+		t.Fatalf("local result not stamped with cem: %+v", localRes.Optimization)
+	}
+
+	remote, _ := newRemoteServer(t, jobs.Config{LeaseTTL: 2 * time.Second})
+	stop := startWorkers(t, remote, 1)
+	defer stop()
+	remoteRes := runJob(t, remote, cemBody)
+	if remoteRes.Optimization == nil || remoteRes.Optimization.Algorithm != "cem" {
+		t.Fatalf("remote result not stamped with cem: %+v", remoteRes.Optimization)
+	}
+
+	// CEM obeys the same determinism contract as the default backend, so
+	// the pools must agree byte for byte once the wall-clock perf fields
+	// are zeroed.
+	localRes.Optimization.StripVolatile()
+	remoteRes.Optimization.StripVolatile()
+	a, _ := json.Marshal(localRes)
+	b, _ := json.Marshal(remoteRes)
+	if string(a) != string(b) {
+		t.Errorf("cem results differ between pools:\nlocal:  %s\nremote: %s", a, b)
+	}
+	if !strings.Contains(string(a), `"algorithm":"cem"`) {
+		t.Errorf("serialized result missing the algorithm field: %s", a)
+	}
+}
+
+// TestMetricsPerAlgorithmSeries checks the /metrics exposition carries
+// the per-backend job, iteration and simulation series after jobs run
+// under different algorithms.
+func TestMetricsPerAlgorithmSeries(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 2})
+
+	if res := runJob(t, ts, otaBody); res.Optimization.Algorithm != "feasguided" {
+		t.Fatalf("default job algorithm = %q, want feasguided", res.Optimization.Algorithm)
+	}
+	runJob(t, ts, cemBody)
+
+	// An unregistered algorithm is refused at submit, not at run time.
+	code, body := postJob(t, ts, `{"circuit": "ota", "options": {"algorithm": "annealing"}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: code %d body %v", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`specwised_jobs_done_total{algorithm="cem"} 1`,
+		`specwised_jobs_done_total{algorithm="feasguided"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	for _, re := range []string{
+		`specwised_algorithm_iterations_total\{algorithm="cem"\} [1-9]`,
+		`specwised_algorithm_iterations_total\{algorithm="feasguided"\} [1-9]`,
+		`specwised_algorithm_simulations_total\{algorithm="cem"\} [1-9]`,
+		`specwised_algorithm_simulations_total\{algorithm="feasguided"\} [1-9]`,
+	} {
+		if !regexp.MustCompile(re).Match(text) {
+			t.Errorf("metrics missing series %s:\n%s", re, text)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"specwise/internal/core"
 	"specwise/internal/netlist"
+	_ "specwise/internal/search" // register the search backends
 	"specwise/internal/spice"
 )
 

@@ -35,6 +35,7 @@ import (
 	"specwise/internal/circuits"
 	"specwise/internal/core"
 	"specwise/internal/mismatch"
+	"specwise/internal/search"
 	"specwise/internal/wcd"
 )
 
@@ -82,7 +83,22 @@ func Miller() *Problem { return circuits.MillerProblem() }
 // quickstart example.
 func OTA() *Problem { return circuits.OTAProblem() }
 
-// Optimize runs the full Fig.-6 yield optimization on a problem.
+// Circuit builds a registered benchmark circuit by name ("foldedcascode",
+// "miller", "ota", ...); unknown names return an error listing the
+// registered set.
+func Circuit(name string) (*Problem, error) { return circuits.Build(name) }
+
+// Circuits returns the registered benchmark circuit names, sorted.
+func Circuits() []string { return circuits.Names() }
+
+// Algorithms returns the names of the registered search backends a
+// run's Options.Algorithm may select; the empty string picks the
+// default ("feasguided", the paper's feasibility-guided search).
+func Algorithms() []string { return search.Names() }
+
+// Optimize runs the full yield optimization on a problem with the
+// backend named by Options.Algorithm (the paper's Fig.-6 algorithm by
+// default).
 func Optimize(p *Problem, opts Options) (*Result, error) {
 	return OptimizeContext(context.Background(), p, opts)
 }
