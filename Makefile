@@ -11,11 +11,14 @@ all: check
 # Benchmarks that define the performance contract of the hot path. The
 # core table benchmarks run once each (they are full optimizations, not
 # microbenchmarks) and the parsed numbers land in BENCH_core.json.
-# SweepOTA16 is the batch-engine contract: the shared-evaluation-cache
-# run must answer >=30% of would-be simulator calls cross-job (it fails
-# the bench otherwise). BackendsOTA tracks the registered search
-# backends side by side on the same OTA task.
-BENCH_PATTERN ?= 'Table[13456]|SweepOTA16|BackendsOTA'
+# Table[1-7] covers every table of the paper (the old [13456] class
+# silently skipped Table2MeanSigma and Table7Effort) plus the
+# Table1FoldedCascodeSpec speculation legs. SweepOTA16 is the
+# batch-engine contract: the shared-evaluation-cache run must answer
+# >=30% of would-be simulator calls cross-job (it fails the bench
+# otherwise). BackendsOTA tracks the registered search backends side by
+# side on the same OTA task.
+BENCH_PATTERN ?= 'Table[1-7]|SweepOTA16|BackendsOTA'
 bench: build
 	$(GO) test -run xxx -bench $(BENCH_PATTERN) -benchtime 1x -benchmem . \
 		| $(GO) run ./cmd/benchreport -o BENCH_core.json \
@@ -28,29 +31,39 @@ bench: build
 # simulation or optimization hot path; it is not part of `make check`
 # because a full Table-1 optimization takes minutes.
 bench-check: build
-	$(GO) test -run xxx -bench Table1 -benchtime 1x . \
+	$(GO) test -run xxx -bench 'Table1FoldedCascode$$' -benchtime 1x . \
 		| $(GO) run ./cmd/benchreport -o /dev/null -compare BENCH_core.json
 
 # One-iteration smoke of the hottest benchmark so `make check` notices a
 # broken or pathologically slow optimization path without paying for the
 # full suite.
 benchsmoke: build
-	$(GO) test -run xxx -bench Table1 -benchtime 1x . >/dev/null
+	$(GO) test -run xxx -bench 'Table1FoldedCascode$$' -benchtime 1x . >/dev/null
 
-# CPU/heap profile of the hottest benchmark (the full Table-1 folded-
-# cascode optimization) and a flat top-15 of each. The raw profiles stay
-# in profile.out/ for interactive digging:
+# CPU/heap/mutex/block profiles of the hottest benchmark (the full
+# Table-1 folded-cascode optimization, serial and speculating legs) with
+# a flat top of each. The mutex and block profiles are what to read
+# after touching internal/sched or the speculation executor: lock
+# contention and semaphore waits show up there, not in CPU samples. The
+# raw profiles stay in profile.out/ for interactive digging:
 #   go tool pprof -http=:8000 profile.out/cpu.pprof
+# To profile a live daemon instead, start specwised with -pprof-addr
+# :6060 and point pprof at http://host:6060/debug/pprof/.
 profile: build
 	mkdir -p profile.out
-	$(GO) test -run xxx -bench Table1 -benchtime 1x \
+	$(GO) test -run xxx -bench Table1FoldedCascode -benchtime 1x \
 		-cpuprofile profile.out/cpu.pprof -memprofile profile.out/mem.pprof \
+		-mutexprofile profile.out/mutex.pprof -blockprofile profile.out/block.pprof \
 		-o profile.out/specwise.test .
 	@echo "== CPU, flat top 15 =="
 	$(GO) tool pprof -top -nodecount 15 profile.out/specwise.test profile.out/cpu.pprof
 	@echo "== Allocated space, flat top 15 =="
 	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space \
 		profile.out/specwise.test profile.out/mem.pprof
+	@echo "== Mutex contention, flat top 10 =="
+	$(GO) tool pprof -top -nodecount 10 profile.out/specwise.test profile.out/mutex.pprof
+	@echo "== Blocking, flat top 10 =="
+	$(GO) tool pprof -top -nodecount 10 profile.out/specwise.test profile.out/block.pprof
 
 build:
 	$(GO) build ./...
@@ -64,12 +77,14 @@ test:
 # join because the optimizer evaluates circuits (and their shared
 # solver-stat counters) from parallel gradient workers; coord, feasopt
 # and the search backends join because the engine/backend split moved
-# the search loops there and they drive the parallel evaluators.
+# the search loops there and they drive the parallel evaluators; sched
+# joins because every one of those pools now admits work through its
+# shared semaphore.
 race:
 	$(GO) test -race ./internal/jobs/... ./internal/server/... ./internal/worker/... \
 		./internal/store/... ./internal/core/... ./internal/spice/... ./internal/wcd/... \
 		./internal/evalcache/... ./internal/coord/... ./internal/feasopt/... \
-		./internal/search/...
+		./internal/search/... ./internal/sched/...
 
 # End-to-end smoke of the remote pull-worker binary path: one
 # remote-only manager behind httptest, one pull-worker, one verify job.

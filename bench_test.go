@@ -49,6 +49,46 @@ func BenchmarkTable1FoldedCascode(b *testing.B) {
 	}
 }
 
+// BenchmarkTable1FoldedCascodeSpec: the same Table-1 run with the
+// predict-ahead evaluation pipeline off and on, at the worker counts of
+// interest. The serial leg is the baseline; the speculate legs trade
+// idle cores for wall clock while — by the claim-based determinism
+// contract — reporting the exact simulation count and yields of the
+// baseline. spec-hit-% is the fraction of speculative computes the
+// authoritative pass claimed (wasted work is 100 minus that). On a
+// single-core runner the speculate legs degrade to roughly the baseline:
+// the pool finds no idle cycles to use, which is the point.
+func BenchmarkTable1FoldedCascodeSpec(b *testing.B) {
+	for _, tc := range []struct {
+		name        string
+		speculate   bool
+		specWorkers int
+	}{
+		{"serial", false, 0},
+		{"speculate-2", true, 2},
+		{"speculate-gomaxprocs", true, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Speculate = tc.speculate
+			cfg.SpecWorkers = tc.specWorkers
+			for i := 0; i < b.N; i++ {
+				res, err := paper.Table1(cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportYields(b, res)
+				if tc.speculate {
+					b.ReportMetric(float64(res.Speculation.Computes), "spec-computes")
+					if res.Speculation.Computes > 0 {
+						b.ReportMetric(100*float64(res.Speculation.Claims)/float64(res.Speculation.Computes), "spec-hit-%")
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable2MeanSigma: per-performance μ/σ improvement extraction
 // between iterations (paper Table 2); derived from a Table-1 run.
 func BenchmarkTable2MeanSigma(b *testing.B) {

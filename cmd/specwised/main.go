@@ -7,7 +7,21 @@
 //	specwised [-addr :8080] [-workers N] [-queue N] \
 //	    [-worker-token T] [-lease-ttl 30s] [-remote-only] \
 //	    [-retain-jobs N] [-retain-for D] \
-//	    [-store jobs.wal] [-snapshot-every N]
+//	    [-store jobs.wal] [-snapshot-every N] \
+//	    [-speculate] [-spec-workers N] [-pprof-addr :6060]
+//
+// -speculate turns on the predict-ahead evaluation pipeline for
+// optimize jobs that do not set options.speculate: while the optimizer
+// executes its authoritative step, idle cores pre-run the simulations
+// the predicted next step will need. Results and simulation counts are
+// bit-identical with speculation on or off; -spec-workers bounds the
+// per-job speculation pool (0 = GOMAXPROCS).
+//
+// -pprof-addr serves net/http/pprof on a separate listener (off by
+// default, never on the API address): profile a live daemon with
+// `go tool pprof http://host:6060/debug/pprof/profile` — the offline
+// counterpart of `make profile`, which captures CPU/mutex/block
+// profiles of the Table-1 benchmark.
 //
 // Remote pull-workers (cmd/specwise-worker) claim jobs over the
 // /v1/worker lease endpoints; -worker-token gates that API,
@@ -48,6 +62,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -69,6 +84,12 @@ func main() {
 		"default Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"default per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
+	speculate := flag.Bool("speculate", false,
+		"predict-ahead evaluation for optimize jobs that omit options.speculate (bit-identical results and simulation counts)")
+	specWorkers := flag.Int("spec-workers", 0,
+		"speculation pool per job (0 = GOMAXPROCS; requires -speculate or options.speculate)")
+	pprofAddr := flag.String("pprof-addr", "",
+		"serve net/http/pprof on this separate listen address (empty = disabled)")
 	workerToken := flag.String("worker-token", "",
 		"bearer token required on the /v1/worker endpoints (empty = open)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second,
@@ -106,12 +127,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprofAddr != "" {
+		go servePprof(*pprofAddr)
+	}
+
 	if err := run(*addr, *workerToken, *storePath, jobs.Config{
 		Workers:          *workers,
 		RemoteOnly:       *remoteOnly,
 		QueueSize:        *queue,
 		VerifyWorkers:    *verifyWorkers,
 		SweepWorkers:     *sweepWorkers,
+		Speculate:        *speculate,
+		SpecWorkers:      *specWorkers,
 		LeaseTTL:         *leaseTTL,
 		RetainJobs:       *retainJobs,
 		RetainFor:        *retainFor,
@@ -122,6 +149,29 @@ func main() {
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// servePprof exposes net/http/pprof on its own listener and mux, so the
+// profiling surface never shares an address (or an auth story) with the
+// public API. Errors are logged, not fatal: a daemon that cannot bind
+// its debug port still serves jobs.
+func servePprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("pprof listener: %v", err)
+		return
+	}
+	log.Printf("pprof listening on %s", ln.Addr())
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.Serve(ln); err != nil {
+		log.Printf("pprof server: %v", err)
 	}
 }
 

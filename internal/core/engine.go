@@ -25,6 +25,15 @@ type Engine struct {
 	sim0    SimCounters       // simulator counters at construction time
 	p       *Problem          // instrumented (and possibly cached) copy
 	res     *Result           // assembled during run
+
+	// specCache is the cache's speculation capability, non-nil only when
+	// Options.Speculate is on and the cache supports claim semantics;
+	// specExec is the run's speculation pool (nil when the backend does
+	// not implement Speculator). steps counts completed backend Steps —
+	// the speculation rounds key their seeds off it.
+	specCache evalcache.SpecWrapper
+	specExec  *specExec
+	steps     int
 }
 
 // newEngine instruments the problem per the (already defaulted) options.
@@ -37,7 +46,18 @@ func newEngine(problem *Problem, opts Options) *Engine {
 		} else {
 			e.cache = evalcache.New(opts.EvalCacheSize)
 		}
-		e.p = e.cache.Wrap(e.p)
+		if sw, ok := e.cache.(evalcache.SpecWrapper); ok && opts.Speculate {
+			// Claim-aware authoritative handle: the first authoritative
+			// touch of a speculatively computed entry credits the run's
+			// counters, keeping Result.Simulations identical with
+			// speculation on or off.
+			e.specCache = sw
+			e.p = sw.WrapClaiming(e.p,
+				func() { e.counter.AddEvals(1) },
+				func() { e.counter.AddConstraintEvals(1) })
+		} else {
+			e.p = e.cache.Wrap(e.p)
+		}
 	}
 	if opts.NoConstraints {
 		e.p.Constraints = nil
@@ -108,17 +128,37 @@ func (e *Engine) DesignBox() coord.Box {
 // them, wherever the backend checks) and returns ctx.Err().
 func (e *Engine) run(ctx context.Context, b SearchBackend) (*Result, error) {
 	e.res = &Result{Problem: e.problem, Algorithm: b.Name()}
+	if e.specCache != nil {
+		if sp, ok := b.(Speculator); ok {
+			e.specExec = newSpecExec(e, sp)
+			e.specExec.start(ctx)
+			// Shutdown on every exit path: cancels all speculation and
+			// waits for in-flight work, so nothing can write into the
+			// cache after this run returns.
+			defer e.specExec.shutdown()
+		}
+	}
 	if err := b.Init(ctx, e); err != nil {
 		return nil, err
 	}
 	for {
+		if e.specExec != nil {
+			// Predict-ahead: rotate the speculation round while the
+			// backend is quiescent, then overlap the pool with the Step.
+			e.specExec.round()
+		}
 		done, err := b.Step(ctx, e)
+		e.steps++
 		if err != nil {
 			return nil, err
 		}
 		if done {
 			break
 		}
+	}
+	if e.specExec != nil {
+		// Settle the pool before reading the effort counters.
+		e.specExec.shutdown()
 	}
 	return e.finish(b.Final()), nil
 }
@@ -131,6 +171,9 @@ func (e *Engine) finish(final []float64) *Result {
 	res.ConstraintSims = e.counter.ConstraintEvals()
 	if e.cache != nil {
 		res.EvalCache = e.cache.Stats()
+	}
+	if e.specExec != nil {
+		res.Speculation = e.specExec.stats(res.EvalCache)
 	}
 	if e.problem.SimStats != nil {
 		// Report only this run's share of the (problem-cumulative)

@@ -78,6 +78,20 @@ type Options struct {
 	// problem.SimOptions). 0 means GOMAXPROCS; results are
 	// bit-identical for every setting.
 	SweepWorkers int
+	// Speculate enables the deterministic predict-ahead pipeline: while
+	// the authoritative search step runs, a background pool pre-simulates
+	// the design points the backend predicts for its next step into the
+	// evaluation cache (see Speculator). Results — every accept/reject,
+	// every rng draw, every counter — are bit-identical with speculation
+	// on or off at any worker count; mispredictions only waste idle
+	// cycles, and speculative work runs at strictly lower scheduler
+	// priority than the foreground pools. Requires the evaluation cache
+	// (ignored under NoEvalCache) and a backend implementing Speculator
+	// (ignored otherwise).
+	Speculate bool
+	// SpecWorkers bounds the speculation pool. 0 means GOMAXPROCS. Only
+	// meaningful with Speculate set.
+	SpecWorkers int
 	// WC tunes the worst-case distance searches.
 	WC wcd.Options
 	// Coord tunes the coordinate search.
@@ -172,6 +186,9 @@ type Result struct {
 	// EvalCache reports the memoization-cache counters of the run
 	// (zero when Options.NoEvalCache disabled the cache).
 	EvalCache evalcache.Stats
+	// Speculation reports the predict-ahead pipeline's effort (zero when
+	// Options.Speculate was off or the backend cannot predict).
+	Speculation SpecStats
 	// Sim reports the simulator-side effort counters (DC warm starts,
 	// homotopy fallbacks, Newton iterations) when the problem exposes
 	// them through Problem.SimStats; zero otherwise.

@@ -1,0 +1,440 @@
+package core
+
+// Deterministic speculative evaluation (the predict-ahead pipeline).
+//
+// The optimizer's outer loop is serial by construction: one authoritative
+// Analyze at a time, with idle cores between its parallel bursts. The
+// paper's own answer to evaluation latency was to farm work out
+// speculatively (its MC verification ran on five machines); here the same
+// idea is applied inside one process without giving up bit-identical
+// results. A SearchBackend that can name the design points its next Step
+// will analyze implements Speculator; before each authoritative Step the
+// engine asks it to Predict, then a bounded background pool pre-runs the
+// predicted evaluations into the evaluation cache while the Step runs.
+//
+// The determinism argument has three legs:
+//
+//  1. Speculation only ever populates the cache, and the cache keys on
+//     exact (d, s, θ) bit patterns, so an authoritative lookup that hits
+//     a speculative entry returns the same float64 values the simulator
+//     would have produced.
+//  2. The authoritative trajectory never branches on speculation state:
+//     Predict runs synchronously between Steps (the backend is
+//     quiescent, so it may read backend state freely and fork — never
+//     advance — rng streams), and the pool communicates with the run
+//     only through the cache.
+//  3. Effort accounting is claim-based: speculative simulator calls are
+//     not counted when they run but when the authoritative run first
+//     touches the entry (evalcache.SpecWrapper fires a claim hook that
+//     credits the run's Counter), so Result.Simulations is identical
+//     with speculation on or off. Unclaimed entries are wasted idle
+//     cycles, reported in Result.Speculation.
+//
+// Scheduling: every speculative simulator call passes a sched.AcquireSpec
+// gate, so speculation runs strictly below the foreground's extra-worker
+// pools and drains out of the machine within one simulator call of the
+// foreground ramping up. Stale predictions are cancelled by round
+// rotation — each new Predict cancels the previous round's context —
+// and engine shutdown waits for in-flight speculative work, so nothing
+// writes after Optimize returns.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"specwise/internal/evalcache"
+	"specwise/internal/sched"
+	"specwise/internal/wcd"
+)
+
+// Speculator is the optional backend capability behind Options.Speculate:
+// Predict names the design points the backend's next Step is likely to
+// analyze. It is called synchronously between Steps, so the backend is
+// quiescent and may read its own state; it must not advance any
+// authoritative rng stream (fork with rng.Fork instead) and must issue
+// any simulations it needs through Engine.SpecProblem, never through
+// Engine.Problem. Mispredictions are harmless — they waste idle cycles,
+// nothing else.
+type Speculator interface {
+	Predict(e *Engine) [][]float64
+}
+
+// SpecWarmer lets a Speculator replace the engine's default per-candidate
+// action (a full speculative Analyze replay) with its own cache warm —
+// cem, whose Step scores candidates over a fixed sample/θ grid rather
+// than analyzing them, implements it. SpeculateWarm runs on pool
+// goroutines; it must evaluate only through the provided problem handle
+// (already speculation-gated) and return promptly once ctx dies. seed is
+// the engine's analyze seed for the predicted step, for warms that
+// replay a full Analyze (see Engine.SpeculateAnalyze).
+type SpecWarmer interface {
+	SpeculateWarm(ctx context.Context, p *Problem, e *Engine, d []float64, seed uint64)
+}
+
+// SpecStats reports the speculative pipeline's effort for one run.
+type SpecStats struct {
+	// Predicted counts design points named by the backend's Predict;
+	// Launched counts those handed to the pool (the rest were dropped on
+	// a full queue and are included in Cancelled).
+	Predicted int64
+	Launched  int64
+	// Cancelled counts speculative tasks aborted before completion —
+	// stale rounds, queue overflow, shutdown.
+	Cancelled int64
+	// Computes counts simulator calls actually issued speculatively;
+	// Claims counts those later consumed by the authoritative run.
+	// Computes − Claims is pure waste (idle cycles, by construction).
+	Computes int64
+	Claims   int64
+}
+
+// specTask is one predicted design point queued for the pool.
+type specTask struct {
+	ctx  context.Context
+	d    []float64
+	seed uint64
+}
+
+// specExec owns the speculation pool for one run.
+type specExec struct {
+	e       *Engine
+	sp      Speculator
+	warmer  SpecWarmer // non-nil when the backend implements SpecWarmer
+	workers int
+
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	tasks    chan specTask
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	// roundCtx/roundCancel rotate on every Predict; only the engine
+	// goroutine touches them (Predict is synchronous).
+	roundCtx    context.Context
+	roundCancel context.CancelFunc
+	roundSeed   uint64
+
+	predicted, launched, cancelled atomic.Int64
+}
+
+// newSpecExec wires the pool for a backend that implements Speculator.
+func newSpecExec(e *Engine, sp Speculator) *specExec {
+	s := &specExec{e: e, sp: sp, workers: e.opts.SpecWorkers}
+	if w, ok := sp.(SpecWarmer); ok {
+		s.warmer = w
+	}
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
+	}
+	return s
+}
+
+// start launches the pool under the run's context.
+func (s *specExec) start(ctx context.Context) {
+	s.baseCtx, s.baseStop = context.WithCancel(ctx)
+	s.tasks = make(chan specTask, 4*s.workers+16)
+	for w := 0; w < s.workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.baseCtx.Done():
+					return
+				case t := <-s.tasks:
+					if t.ctx.Err() != nil {
+						s.cancelled.Add(1)
+						continue
+					}
+					s.run(t)
+				}
+			}
+		}()
+	}
+}
+
+// run executes one speculative task, swallowing every error: a failed or
+// cancelled speculation must be invisible to the authoritative run.
+func (s *specExec) run(t specTask) {
+	p := s.e.specWrap(t.ctx)
+	if s.warmer != nil {
+		s.warmer.SpeculateWarm(t.ctx, p, s.e, t.d, t.seed)
+		return
+	}
+	s.e.speculativeAnalyze(t.ctx, p, t.d, t.seed)
+}
+
+// round rotates speculation for the upcoming Step: cancel whatever the
+// previous round still has queued (its predictions are stale — the
+// authoritative trajectory has moved), ask the backend for fresh
+// predictions and enqueue them. Runs synchronously on the engine
+// goroutine between Steps.
+func (s *specExec) round() {
+	if s.roundCancel != nil {
+		s.roundCancel()
+	}
+	s.roundCtx, s.roundCancel = context.WithCancel(s.baseCtx)
+	// The engine's step counter mirrors the backends' attempt counters:
+	// feasguided analyzes attempt n+1 with seed Seed+n+1, cem's final
+	// analyze of generation g uses Seed+g+1.
+	s.roundSeed = s.e.opts.Seed + uint64(s.e.steps) + 1
+	for _, d := range s.sp.Predict(s.e) {
+		s.predicted.Add(1)
+		t := specTask{ctx: s.roundCtx, d: append([]float64(nil), d...), seed: s.roundSeed}
+		select {
+		case s.tasks <- t:
+			s.launched.Add(1)
+		default:
+			s.cancelled.Add(1)
+		}
+	}
+}
+
+// shutdown cancels all speculation and waits for in-flight work, so no
+// speculative write can happen after the run returns. Idempotent.
+func (s *specExec) shutdown() {
+	s.stopOnce.Do(func() {
+		s.baseStop()
+		s.wg.Wait()
+		for {
+			select {
+			case <-s.tasks:
+				s.cancelled.Add(1)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// stats assembles the run's SpecStats from the pool counters and the
+// cache's compute/claim tallies.
+func (s *specExec) stats(cs evalcache.Stats) SpecStats {
+	return SpecStats{
+		Predicted: s.predicted.Load(),
+		Launched:  s.launched.Load(),
+		Cancelled: s.cancelled.Load(),
+		Computes:  cs.SpecComputes,
+		Claims:    cs.SpecClaims,
+	}
+}
+
+// specGate adapts the compute scheduler to the cache's gate contract:
+// one low-priority slot per speculative simulator call.
+func specGate(ctx context.Context) evalcache.SpecGate {
+	return func() (func(), error) {
+		sch := sched.Default()
+		if err := sch.AcquireSpec(ctx); err != nil {
+			return nil, err
+		}
+		return sch.ReleaseSpec, nil
+	}
+}
+
+// specWrap builds a speculative problem handle over the run's cache: same
+// entries as the authoritative handle (bit-exact keys), no effort
+// accounting, every simulator call gated at speculation priority under
+// ctx.
+func (e *Engine) specWrap(ctx context.Context) *Problem {
+	q := e.specCache.WrapSpec(e.problem, specGate(ctx))
+	if e.opts.NoConstraints {
+		q.Constraints = nil
+	}
+	return q
+}
+
+// SpecProblem returns a speculative handle for the current prediction
+// round, for use inside Speculator.Predict only: evaluations populate
+// the run's cache without touching its effort counters, each simulator
+// call waits for a low-priority scheduler slot, and the handle dies with
+// the round (the next Predict cancels it). Returns nil when speculation
+// is off.
+func (e *Engine) SpecProblem() *Problem {
+	if e.specExec == nil || e.specExec.roundCtx == nil {
+		return nil
+	}
+	return e.specWrap(e.specExec.roundCtx)
+}
+
+// SpeculateAnalyze exposes the engine's speculative Analyze replay to
+// SpecWarmer implementations whose predicted step performs a full
+// analysis (e.g. cem's final-generation analyze): p must be the gated
+// handle SpeculateWarm received, and seed the step seed it was given.
+func (e *Engine) SpeculateAnalyze(ctx context.Context, p *Problem, d []float64, seed uint64) {
+	e.speculativeAnalyze(ctx, p, d, seed)
+}
+
+// speculativeAnalyze replays Analyze's evaluation schedule at d through
+// the speculative handle, parallelizing the serial sections Analyze
+// cannot parallelize itself — the corner sweep and the model-build
+// finite-difference probes — so the authoritative Analyze that follows
+// finds its serial path pre-simulated. Every error (including
+// cancellation) aborts silently.
+func (e *Engine) speculativeAnalyze(ctx context.Context, p *Problem, d []float64, seed uint64) {
+	opts := e.opts
+	zeroS := make([]float64, p.NumStat())
+
+	// Corner sweep (Eq. 2): the points are independent, so warm them in
+	// parallel, then let the (serial) enumeration hit the cache.
+	corners := wcd.CornerThetas(e.problem)
+	warmAll(ctx, len(corners), func(i int) error {
+		_, err := p.Eval(d, zeroS, corners[i])
+		return err
+	})
+	if ctx.Err() != nil {
+		return
+	}
+	thetaRes, err := wcd.WorstCaseTheta(p, d, zeroS)
+	if err != nil {
+		return
+	}
+	// Golden-section refinement is inherently sequential; replay it so
+	// its points are cached for the authoritative pass.
+	if err := wcd.RefineTheta(p, d, zeroS, thetaRes, opts.RefineThetaPasses); err != nil {
+		return
+	}
+
+	// Per-spec worst-case searches, concurrent exactly like Analyze.
+	wcs := make([]*wcd.WorstCase, p.NumSpecs())
+	wcErrs := make([]error, p.NumSpecs())
+	var wg sync.WaitGroup
+	for i := range p.Specs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			theta := thetaRes.PerSpec[i]
+			marginFn := func(s []float64) (float64, error) {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				vals, err := p.Eval(d, s, theta)
+				if err != nil {
+					return 0, err
+				}
+				return p.Specs[i].Margin(vals[i]), nil
+			}
+			wcOpts := opts.WC
+			if wcOpts.Seed == 0 {
+				wcOpts.Seed = seed + uint64(i)*1000003
+			} else {
+				wcOpts.Seed = opts.WC.Seed + uint64(i)*1000003
+			}
+			wcs[i], wcErrs[i] = wcd.FindWorstCase(marginFn, p.NumStat(), wcOpts)
+		}()
+	}
+	wg.Wait()
+	for _, err := range wcErrs {
+		if err != nil {
+			return
+		}
+	}
+
+	// Model-build probes (Eq. 16): linmodel.Build runs them serially, so
+	// pre-simulate the exact probe geometry in parallel. The build itself
+	// needs no replay — the authoritative Build consumes the warmed
+	// points directly.
+	e.warmBuildProbes(ctx, p, d, zeroS, wcs, thetaRes)
+
+	// Monte-Carlo verification: already worker-parallel internally, and
+	// a pure function of (d, thetas, samples, seed), so the replay is an
+	// exact prediction.
+	if !opts.SkipVerify && ctx.Err() == nil {
+		_, _ = VerifyMCContext(ctx, p, d, thetaRes.PerSpec, opts.VerifySamples, seed^0xabcdef, opts.VerifyWorkers)
+	}
+}
+
+// warmBuildProbes pre-simulates linmodel.Build's finite-difference
+// schedule at d: per spec, the design-gradient probes (step 0.02 of each
+// parameter's range, flipped at the upper bound — Build's defaults) and,
+// when the worst case sits on the spec boundary, the single mirrored
+// point of Sec. 5.3. The geometry mirrors linmodel exactly so every warm
+// is a future hit; rare paths (NaN re-probes, the consistency-guard
+// nominal rebuild) are left to the authoritative pass.
+func (e *Engine) warmBuildProbes(ctx context.Context, p *Problem, d, zeroS []float64, wcs []*wcd.WorstCase, thetaRes *wcd.ThetaResult) {
+	type probe struct{ d, s, theta []float64 }
+	var probes []probe
+	const fdD = 0.02  // linmodel.BuildOptions.FDStepD default
+	const fdS = 0.1   // nominal-linearization stat-gradient step
+	const bFrac = 0.2 // linmodel's on-boundary margin fraction
+	for i := range p.Specs {
+		theta := thetaRes.PerSpec[i]
+		s := []float64(wcs[i].S)
+		if e.opts.LinearizeAtNominal {
+			s = zeroS
+			probes = append(probes, probe{d, zeroS, theta})
+			for j := 0; j < p.NumStat(); j++ {
+				sj := make([]float64, p.NumStat())
+				sj[j] = fdS
+				probes = append(probes, probe{d, sj, theta})
+			}
+		}
+		for k, prm := range p.Design {
+			h := fdD * (prm.Hi - prm.Lo)
+			if h == 0 {
+				continue
+			}
+			if d[k]+h > prm.Hi {
+				h = -h
+			}
+			dd := append([]float64(nil), d...)
+			dd[k] = d[k] + h
+			probes = append(probes, probe{dd, s, theta})
+		}
+		if !e.opts.LinearizeAtNominal && !e.opts.NoMirrorSpecs {
+			sNorm := wcs[i].S.Norm2()
+			onBoundary := wcs[i].Converged || abs(wcs[i].MarginWc) < bFrac*wcs[i].GradS.Norm2()
+			if sNorm >= 1e-9 && onBoundary {
+				ms := make([]float64, len(wcs[i].S))
+				for j, v := range wcs[i].S {
+					ms[j] = -v
+				}
+				probes = append(probes, probe{d, ms, theta})
+			}
+		}
+	}
+	warmAll(ctx, len(probes), func(i int) error {
+		_, err := p.Eval(probes[i].d, probes[i].s, probes[i].theta)
+		return err
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// warmAll evaluates n independent warm thunks concurrently. Concurrency
+// of actual simulator calls is bounded by the speculation gate inside
+// the handle, so the goroutine fan-out here only decides how many calls
+// can be in flight at the gate; errors stop nothing but the failing
+// thunk (warms are independent).
+func warmAll(ctx context.Context, n int, f func(int) error) {
+	if n == 0 {
+		return
+	}
+	k := runtime.GOMAXPROCS(0)
+	if k > n {
+		k = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				_ = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

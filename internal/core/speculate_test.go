@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"specwise/internal/evalcache"
+	"specwise/internal/testprob"
+)
+
+// predictBackend is a stub SearchBackend whose trajectory is a fixed
+// walk through design space and whose Predict names the next point
+// exactly — the cleanest possible speculator, for exercising the
+// executor machinery (claims, cancellation, shutdown) without the
+// complexity of a real search.
+type predictBackend struct {
+	name string
+	step int
+	max  int
+	// pause delays each Step before its Analyze. On a single-CPU test
+	// box the pool can never overtake an already-running authoritative
+	// replay (it joins every in-flight point and trails forever); the
+	// pause stands in for the idle cores that let speculation get ahead
+	// on real hardware.
+	pause time.Duration
+	d     []float64
+}
+
+func (b *predictBackend) Name() string { return b.name }
+
+// walkDesign is the deterministic trajectory: step k nudges d0 by
+// 0.3·(k+1), clamped to the box.
+func walkDesign(p *Problem, k int) []float64 {
+	d := p.InitialDesign()
+	d[0] += 0.3 * float64(k+1)
+	return p.ClampDesign(d)
+}
+
+func (b *predictBackend) Init(ctx context.Context, e *Engine) error {
+	b.d = e.Problem().InitialDesign()
+	it, _, _, err := e.Analyze(ctx, b.d, e.Options().Seed)
+	if err != nil {
+		return err
+	}
+	e.Record(it)
+	return nil
+}
+
+func (b *predictBackend) Step(ctx context.Context, e *Engine) (bool, error) {
+	if b.step >= b.max {
+		return true, nil
+	}
+	if b.pause > 0 {
+		time.Sleep(b.pause)
+	}
+	d := walkDesign(e.Problem(), b.step)
+	// Seed matches the executor's roundSeed derivation (Seed + steps + 1),
+	// like the real backends' attempt seeds do.
+	it, _, _, err := e.Analyze(ctx, d, e.Options().Seed+uint64(b.step)+1)
+	if err != nil {
+		return false, err
+	}
+	e.Record(it)
+	b.d = d
+	b.step++
+	return false, nil
+}
+
+func (b *predictBackend) Final() []float64 { return b.d }
+
+func (b *predictBackend) Predict(e *Engine) [][]float64 {
+	if b.step >= b.max {
+		return nil
+	}
+	return [][]float64{walkDesign(e.Problem(), b.step)}
+}
+
+var _ Speculator = (*predictBackend)(nil)
+
+func init() {
+	RegisterBackend("predict-stub", func() SearchBackend {
+		return &predictBackend{name: "predict-stub", max: 3, pause: 15 * time.Millisecond}
+	})
+}
+
+func specTestOpts() Options {
+	return Options{
+		Algorithm:     "predict-stub",
+		ModelSamples:  400,
+		VerifySamples: 40,
+		MaxIterations: 3,
+		Seed:          5,
+	}
+}
+
+// TestSpeculationBitIdentity is the executor-level determinism check:
+// speculation must not move a single bit of the trajectory, and — via
+// claim-based accounting — must leave the simulation counters exactly
+// where a non-speculative run puts them.
+func TestSpeculationBitIdentity(t *testing.T) {
+	// A slowed simulator gives the pool real work to overlap; an instant
+	// one finishes authoritatively before the pool is even scheduled.
+	var calls atomic.Int64
+	base, err := NewAndRun(slowAnalytic(100*time.Microsecond, &calls), specTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := specTestOpts()
+	opts.Speculate = true
+	opts.SpecWorkers = 3
+	spec, err := NewAndRun(slowAnalytic(100*time.Microsecond, &calls), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(base.Iterations) != len(spec.Iterations) {
+		t.Fatalf("iterations %d vs %d", len(base.Iterations), len(spec.Iterations))
+	}
+	for i := range base.Iterations {
+		b, s := base.Iterations[i], spec.Iterations[i]
+		if b.ModelYield != s.ModelYield || b.MCYield != s.MCYield {
+			t.Errorf("iteration %d yields differ: (%v, %v) vs (%v, %v)",
+				i, b.ModelYield, b.MCYield, s.ModelYield, s.MCYield)
+		}
+		for k := range b.Design {
+			if b.Design[k] != s.Design[k] {
+				t.Errorf("iteration %d design[%d] differs: %v vs %v", i, k, b.Design[k], s.Design[k])
+			}
+		}
+	}
+	if base.Simulations != spec.Simulations {
+		t.Errorf("simulations changed: %d without speculation, %d with", base.Simulations, spec.Simulations)
+	}
+	if base.ConstraintSims != spec.ConstraintSims {
+		t.Errorf("constraint sims changed: %d vs %d", base.ConstraintSims, spec.ConstraintSims)
+	}
+
+	// The stub predicts every step exactly, so the pipeline must actually
+	// have run — and claims can never exceed computes.
+	if spec.Speculation.Predicted == 0 || spec.Speculation.Computes == 0 {
+		t.Errorf("speculation never ran: %+v", spec.Speculation)
+	}
+	if spec.Speculation.Claims == 0 {
+		t.Errorf("authoritative run claimed nothing: %+v", spec.Speculation)
+	}
+	if spec.Speculation.Claims > spec.Speculation.Computes {
+		t.Errorf("claims %d > computes %d", spec.Speculation.Claims, spec.Speculation.Computes)
+	}
+	if base.Speculation != (SpecStats{}) {
+		t.Errorf("non-speculative run reports speculation effort: %+v", base.Speculation)
+	}
+}
+
+// slowAnalytic wraps the analytic fixture so every simulator call takes
+// delay and bumps calls — giving cancellation tests a run to interrupt
+// and a way to observe writes after Optimize returns.
+func slowAnalytic(delay time.Duration, calls *atomic.Int64) *Problem {
+	p := testprob.Analytic()
+	eval := p.Eval
+	p.Eval = func(d, s, th []float64) ([]float64, error) {
+		calls.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return eval(d, s, th)
+	}
+	return p
+}
+
+// TestSpeculationCancellationDrainsPool cancels a speculating run
+// mid-flight and checks the executor's shutdown contract: RunContext
+// returns the context error, every pool goroutine exits, and no
+// speculative simulator call lands after the return.
+func TestSpeculationCancellationDrainsPool(t *testing.T) {
+	var calls atomic.Int64
+	p := slowAnalytic(200*time.Microsecond, &calls)
+
+	opts := specTestOpts()
+	opts.Speculate = true
+	opts.SpecWorkers = 4
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	opt, err := NewOptimizer(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Let the run get past Init and into speculating territory.
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := opt.RunContext(ctx); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+
+	// No speculative write after return: the simulator call counter must
+	// go quiet immediately.
+	settled := calls.Load()
+	time.Sleep(50 * time.Millisecond)
+	if after := calls.Load(); after != settled {
+		t.Errorf("%d simulator calls landed after RunContext returned", after-settled)
+	}
+
+	// No goroutine leak: the pool (and every foreground helper) must be
+	// gone. Poll briefly — runtime bookkeeping can lag the WaitGroup.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSpeculationSharedCacheClaims runs a speculating optimization over
+// a shared-cache view (the jobs-manager topology) and checks the view
+// accounts speculative computes and claims without disturbing the
+// result — the cross-view refinement: only the owning view claims.
+func TestSpeculationSharedCacheClaims(t *testing.T) {
+	shared := evalcache.NewShared(0)
+
+	var calls atomic.Int64
+	base, err := NewAndRun(slowAnalytic(100*time.Microsecond, &calls), specTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := specTestOpts()
+	opts.Speculate = true
+	opts.EvalCache = shared.View("prob-a")
+	spec, err := NewAndRun(slowAnalytic(100*time.Microsecond, &calls), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Simulations != spec.Simulations {
+		t.Errorf("simulations changed under shared cache: %d vs %d", base.Simulations, spec.Simulations)
+	}
+	if spec.Speculation.Computes == 0 || spec.Speculation.Claims == 0 {
+		t.Errorf("shared view recorded no speculative traffic: %+v", spec.Speculation)
+	}
+	for i := range base.Iterations {
+		if base.Iterations[i].MCYield != spec.Iterations[i].MCYield {
+			t.Errorf("iteration %d MC yield differs under shared cache", i)
+		}
+	}
+}
+
+// TestSpeculationIgnoredWithoutCache: NoEvalCache must win — with no
+// cache there is nowhere to speculate into, and the run must degrade to
+// plain serial execution rather than fail.
+func TestSpeculationIgnoredWithoutCache(t *testing.T) {
+	opts := specTestOpts()
+	opts.Speculate = true
+	opts.NoEvalCache = true
+	res, err := NewAndRun(testprob.Analytic(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speculation != (SpecStats{}) {
+		t.Errorf("speculation ran without a cache: %+v", res.Speculation)
+	}
+}
+
+// TestSpecProblemNilOutsideRound: SpecProblem is only valid inside a
+// prediction round; a backend calling it on a non-speculating engine
+// must get nil, not a crash.
+func TestSpecProblemNilOutsideRound(t *testing.T) {
+	eng := newEngine(testprob.Analytic(), Options{ModelSamples: 100, SkipVerify: true, Seed: 1})
+	if sp := eng.SpecProblem(); sp != nil {
+		t.Errorf("SpecProblem on a non-speculating engine = %v, want nil", sp)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"specwise/internal/rng"
+	"specwise/internal/sched"
 	"specwise/internal/stat"
 	"specwise/internal/wcd"
 )
@@ -37,14 +39,16 @@ func VerifyMC(p *Problem, d []float64, thetas [][]float64, n int, seed uint64) (
 // operating point; specs sharing a corner share simulations, matching the
 // paper's observation that N* stays well below N·n_spec.
 //
-// Samples are evaluated on a worker pool (the paper ran its verification
-// on a cluster of five machines; here the workers are goroutines). The
-// sample stream is drawn up front, so the result is bit-identical for any
-// worker count. workers bounds the pool; 0 or negative means GOMAXPROCS
+// Samples are evaluated on a caller-runs worker pool (the paper ran its
+// verification on a cluster of five machines; here the workers are
+// goroutines gated by the process-wide compute scheduler). The sample
+// stream is drawn up front and results are written by index, so the
+// result is bit-identical for any worker count. workers bounds the pool
+// including the calling goroutine; 0 or negative means GOMAXPROCS
 // (plumbed from Options.VerifyWorkers / the service config).
 //
-// Cancelling ctx stops the pool between samples: the feeder quits, every
-// worker drains and exits, and the call returns ctx.Err() — no goroutine
+// Cancelling ctx stops the pool between samples: every worker exits at
+// its next sample claim and the call returns ctx.Err() — no goroutine
 // outlives the call, even on early cancellation.
 func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]float64, n int, seed uint64, workers int) (*MCResult, error) {
 	unique, specToUnique := wcd.DistinctThetas(thetas)
@@ -60,7 +64,9 @@ func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]fl
 		samples[j] = r.NormVector(make([]float64, p.NumStat()))
 	}
 
-	// vals[j][u][i]: sample j, corner u, spec i.
+	// vals[j][u][i]: sample j, corner u, spec i. Samples are claimed off a
+	// shared atomic index and written back by index, so the result is
+	// independent of how many workers actually ran.
 	vals := make([][][]float64, n)
 	errs := make([]error, n)
 	if workers <= 0 {
@@ -72,41 +78,41 @@ func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]fl
 	if workers < 1 {
 		workers = 1
 	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			j := int(next.Add(1)) - 1
+			if j >= n || ctx.Err() != nil {
+				return
+			}
+			out := make([][]float64, len(unique))
+			for u, theta := range unique {
+				v, err := p.Eval(d, samples[j], theta)
+				if err != nil {
+					errs[j] = err
+					break
+				}
+				out[u] = v
+			}
+			vals[j] = out
+		}
+	}
+	// Caller-runs pool: the calling goroutine always works; up to
+	// workers-1 extra goroutines join only while the process-wide compute
+	// scheduler has free foreground slots, so nested pools (an AC sweep
+	// inside a verification sample) size themselves to the machine
+	// together instead of multiplying.
+	sch := sched.Default()
 	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
+	for extra := 0; extra < workers-1 && sch.TryAcquire(); extra++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if ctx.Err() != nil {
-					continue // drain; the feeder is already stopping
-				}
-				out := make([][]float64, len(unique))
-				for u, theta := range unique {
-					v, err := p.Eval(d, samples[j], theta)
-					if err != nil {
-						errs[j] = err
-						break
-					}
-					out[u] = v
-				}
-				vals[j] = out
-			}
+			defer sch.Release()
+			work()
 		}()
 	}
-	// The feeder runs in its own goroutine guarded by ctx so that an early
-	// return below can never strand workers on a send.
-	go func() {
-		defer close(jobs)
-		for j := 0; j < n; j++ {
-			select {
-			case jobs <- j:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
+	work()
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -26,6 +26,13 @@ type ExecEnv struct {
 	// SweepWorkers is the per-frequency AC-sweep fan-out default for
 	// requests that do not set options.sweepWorkers (0 = GOMAXPROCS).
 	SweepWorkers int
+	// Speculate turns on the predict-ahead evaluation pipeline for
+	// optimize requests that do not set options.speculate; SpecWorkers is
+	// the speculation-pool default for requests that do not set
+	// options.specWorkers (0 = GOMAXPROCS). Behaviour-preserving like the
+	// other knobs: results and simulation counts are bit-identical.
+	Speculate   bool
+	SpecWorkers int
 	// Progress, when non-nil, receives optimizer milestones. Remote
 	// workers leave it nil — progress is not streamed back over the
 	// pull protocol.
@@ -86,6 +93,12 @@ func Execute(ctx context.Context, p *core.Problem, req *Request, env ExecEnv) (*
 		}
 		if opts.SweepWorkers <= 0 {
 			opts.SweepWorkers = env.SweepWorkers
+		}
+		if !opts.Speculate {
+			opts.Speculate = env.Speculate
+		}
+		if opts.SpecWorkers <= 0 {
+			opts.SpecWorkers = env.SpecWorkers
 		}
 		opts.EvalCache = env.EvalCache
 		opts.Progress = env.Progress

@@ -77,6 +77,15 @@ type RunOptions struct {
 	// and keep hitting the result cache.
 	VerifyWorkers int `json:"verifyWorkers,omitempty"`
 	SweepWorkers  int `json:"sweepWorkers,omitempty"`
+	// Speculate turns on the predict-ahead evaluation pipeline: while the
+	// optimizer executes the authoritative step, idle cores pre-run the
+	// simulations the predicted next step will need. Behaviour-preserving
+	// like the worker knobs (results and simulation counts are
+	// bit-identical with speculation on or off), so requests that omit it
+	// hash identically to pre-knob requests and keep hitting the result
+	// cache. SpecWorkers bounds the speculation pool (0 = GOMAXPROCS).
+	Speculate   bool `json:"speculate,omitempty"`
+	SpecWorkers int  `json:"specWorkers,omitempty"`
 }
 
 // Seed returns a pointer to v, for building RunOptions literals.
@@ -121,6 +130,8 @@ func (o RunOptions) Core() core.Options {
 		RefineThetaPasses:  o.RefineThetaPasses,
 		VerifyWorkers:      o.VerifyWorkers,
 		SweepWorkers:       o.SweepWorkers,
+		Speculate:          o.Speculate,
+		SpecWorkers:        o.SpecWorkers,
 	}
 }
 
@@ -191,6 +202,8 @@ func (o RunOptions) verifyIgnored() []string {
 	add(o.QuadraticSpecs, "quadraticSpecs")
 	add(o.RefineThetaPasses != 0, "refineThetaPasses")
 	add(o.SweepWorkers != 0, "sweepWorkers")
+	add(o.Speculate, "speculate")
+	add(o.SpecWorkers != 0, "specWorkers")
 	return bad
 }
 

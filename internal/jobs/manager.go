@@ -69,6 +69,12 @@ type Config struct {
 	// that do not set options.sweepWorkers (0 means GOMAXPROCS). Results
 	// are bit-identical for every setting.
 	SweepWorkers int
+	// Speculate turns on the predict-ahead evaluation pipeline for
+	// optimize jobs that do not set options.speculate; SpecWorkers bounds
+	// the per-job speculation pool (0 means GOMAXPROCS). Results and
+	// simulation counts are bit-identical for every setting.
+	Speculate   bool
+	SpecWorkers int
 	// SharedEvalCache turns on the manager-scoped shared evaluation
 	// cache: jobs on the same problem (same circuit or byte-identical
 	// spec) reuse each other's simulations, which is where a sweep's
@@ -792,6 +798,8 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*Result, error) {
 	env := ExecEnv{
 		VerifyWorkers: m.cfg.VerifyWorkers,
 		SweepWorkers:  m.cfg.SweepWorkers,
+		Speculate:     m.cfg.Speculate,
+		SpecWorkers:   m.cfg.SpecWorkers,
 		Progress:      job.addProgress,
 	}
 	if m.evalShared != nil {

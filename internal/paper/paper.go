@@ -31,6 +31,13 @@ type RunConfig struct {
 	ModelSamples  int
 	VerifySamples int
 	Iterations    int
+	// Speculate turns on the predict-ahead evaluation pipeline for the
+	// optimization experiments; SpecWorkers bounds its pool
+	// (0 = GOMAXPROCS). Results are bit-identical either way — the knob
+	// only trades idle cores for wall clock, which is exactly what the
+	// speculation benchmarks measure.
+	Speculate   bool
+	SpecWorkers int
 }
 
 // Full is the paper-scale configuration (N = 10,000 model samples, 300
@@ -49,6 +56,8 @@ func Table1(cfg RunConfig, log io.Writer) (*core.Result, error) {
 		ModelSamples:  cfg.ModelSamples,
 		VerifySamples: cfg.VerifySamples,
 		MaxIterations: cfg.Iterations,
+		Speculate:     cfg.Speculate,
+		SpecWorkers:   cfg.SpecWorkers,
 		Seed:          Seed,
 		Log:           log,
 	})

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTryAcquireCapacity(t *testing.T) {
+	s := New(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("expected two foreground slots")
+	}
+	if s.TryAcquire() {
+		t.Fatal("expected denial past capacity")
+	}
+	st := s.Stats()
+	if st.FgInUse != 2 || st.FgDenied != 1 || st.FgGranted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("expected slot after release")
+	}
+	s.Release()
+	s.Release()
+	if st := s.Stats(); st.FgInUse != 0 {
+		t.Fatalf("FgInUse = %d after releases", st.FgInUse)
+	}
+}
+
+func TestSpecCeilingAndReserve(t *testing.T) {
+	s := New(4) // specCap = 3
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := s.AcquireSpec(ctx); err != nil {
+			t.Fatalf("spec slot %d: %v", i, err)
+		}
+	}
+	// The 4th speculative slot must block (ceiling), even though total
+	// occupancy is below capacity.
+	blocked := make(chan error, 1)
+	go func() {
+		cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		blocked <- s.AcquireSpec(cctx)
+	}()
+	if err := <-blocked; err == nil {
+		t.Fatal("expected 4th speculative acquire to block until timeout")
+	}
+	s.ReleaseSpec()
+	s.ReleaseSpec()
+	s.ReleaseSpec()
+}
+
+func TestSpecYieldsToForeground(t *testing.T) {
+	s := New(2) // specCap = 1
+	// Foreground saturates capacity: speculation must wait.
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("foreground slots")
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.AcquireSpec(context.Background()) }()
+	// Give the waiter time to park, then check the queue-depth gauge.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().SpecWaiting == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("speculative waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-got:
+		t.Fatalf("speculation admitted under full foreground load: %v", err)
+	default:
+	}
+	s.Release()
+	s.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("speculation after foreground drained: %v", err)
+	}
+	s.ReleaseSpec()
+}
+
+func TestAcquireSpecCancellation(t *testing.T) {
+	s := New(1)
+	if err := s.AcquireSpec(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- s.AcquireSpec(ctx) }()
+	for s.Stats().SpecWaiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	s.ReleaseSpec()
+}
+
+func TestConcurrentStress(t *testing.T) {
+	s := New(3)
+	var fgHeld, specHeld, maxSpec atomic.Int64
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if s.TryAcquire() {
+					fgHeld.Add(1)
+					fgHeld.Add(-1)
+					s.Release()
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := s.AcquireSpec(ctx); err != nil {
+					t.Error(err)
+					return
+				}
+				n := specHeld.Add(1)
+				for {
+					old := maxSpec.Load()
+					if n <= old || maxSpec.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				specHeld.Add(-1)
+				s.ReleaseSpec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := maxSpec.Load(); got > 2 {
+		t.Fatalf("speculative holds exceeded ceiling: %d > 2", got)
+	}
+	st := s.Stats()
+	if st.FgInUse != 0 || st.SpecInUse != 0 || st.SpecWaiting != 0 {
+		t.Fatalf("slots leaked: %+v", st)
+	}
+}

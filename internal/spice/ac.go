@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/cmplx"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"specwise/internal/linalg"
+	"specwise/internal/sched"
 )
 
 // ACResult is the small-signal solution at one angular frequency.
@@ -215,52 +217,55 @@ func (c *Circuit) acSweepShared(w *solverScratch, sol workspaceCSolver, b *Bode,
 		sol.Absorb(ws.Stats())
 		return true, nil
 	}
-	pool := make([]*linalg.SparseComplexWorkspace, workers)
-	pool[0] = ws
-	for k := 1; k < workers; k++ {
-		pool[k] = ws.Clone()
-	}
-	// Contiguous chunks: worker k owns points [k·chunk, (k+1)·chunk).
-	chunk := (npts + workers - 1) / workers
-	errAt := make([]int, workers) // first failing point per worker, or npts
-	errOf := make([]error, workers)
-	var wg sync.WaitGroup
-	for k := 0; k < workers; k++ {
-		lo := k * chunk
-		hi := lo + chunk
-		if hi > npts {
-			hi = npts
-		}
-		if lo >= hi {
-			errAt[k] = npts
-			continue
-		}
-		wg.Add(1)
-		go func(k, lo, hi int) {
-			defer wg.Done()
-			x := make([]complex128, c.NumVars())
-			errAt[k] = npts
-			for i := lo; i < hi; i++ {
-				if err := sweepPoint(pool[k], x, i); err != nil {
-					errAt[k], errOf[k] = i, err
-					return
-				}
+	// Caller-runs pool gated by the process-wide compute scheduler: the
+	// calling goroutine always sweeps, and up to workers-1 extras (each
+	// with a cloned numeric workspace) join only while foreground slots
+	// are free. Points are claimed off a shared index in ascending order
+	// and written by index, so the response is bit-identical however many
+	// extras actually join.
+	var next atomic.Int64
+	var errMu sync.Mutex
+	firstErr, firstAt := error(nil), npts
+	run := func(wsk *linalg.SparseComplexWorkspace, x []complex128) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= npts {
+				return
 			}
-		}(k, lo, hi)
-	}
-	wg.Wait()
-	for k := 0; k < workers; k++ {
-		sol.Absorb(pool[k].Stats())
-	}
-	// Report the failure at the lowest point index, matching what the
-	// serial sweep would have surfaced first.
-	first, firstAt := error(nil), npts
-	for k := 0; k < workers; k++ {
-		if errOf[k] != nil && errAt[k] < firstAt {
-			first, firstAt = errOf[k], errAt[k]
+			if err := sweepPoint(wsk, x, i); err != nil {
+				// Keep the failure at the lowest point index, matching
+				// what the serial sweep would have surfaced first. Claims
+				// ascend, so the lowest failing point is always claimed
+				// before any worker could have stopped because of it.
+				errMu.Lock()
+				if i < firstAt {
+					firstErr, firstAt = err, i
+				}
+				errMu.Unlock()
+				return
+			}
 		}
 	}
-	return true, first
+	sch := sched.Default()
+	var wg sync.WaitGroup
+	var clones []*linalg.SparseComplexWorkspace
+	for extra := 0; extra < workers-1 && sch.TryAcquire(); extra++ {
+		wsk := ws.Clone()
+		clones = append(clones, wsk)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sch.Release()
+			run(wsk, make([]complex128, c.NumVars()))
+		}()
+	}
+	run(ws, w.acX)
+	wg.Wait()
+	sol.Absorb(ws.Stats())
+	for _, wsk := range clones {
+		sol.Absorb(wsk.Stats())
+	}
+	return true, firstErr
 }
 
 // mags returns the lazily built magnitude cache.

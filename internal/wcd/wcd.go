@@ -14,6 +14,7 @@ import (
 
 	"specwise/internal/linalg"
 	"specwise/internal/problem"
+	"specwise/internal/sched"
 )
 
 // MarginFunc evaluates one spec's normalized margin (>= 0 means pass) at a
@@ -115,27 +116,36 @@ func gradient(m MarginFunc, s []float64, f0, h float64, workers int) (linalg.Vec
 	var evals atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	workFn := func() {
+		work := make([]float64, dim)
+		copy(work, s)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= dim {
+				return
+			}
+			fi, n, err := probe(m, work, s, i, f0, h)
+			evals.Add(int64(n))
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			g[i] = fi
+		}
+	}
+	// Caller-runs pool gated by the process-wide compute scheduler:
+	// components are claimed off a shared index and written by index, so
+	// the gradient is bit-identical however many extras actually join.
+	sch := sched.Default()
+	for extra := 0; extra < workers-1 && sch.TryAcquire(); extra++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			work := make([]float64, dim)
-			copy(work, s)
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= dim {
-					return
-				}
-				fi, n, err := probe(m, work, s, i, f0, h)
-				evals.Add(int64(n))
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				g[i] = fi
-			}
+			defer sch.Release()
+			workFn()
 		}()
 	}
+	workFn()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -537,6 +547,15 @@ func WorstCaseTheta(p *problem.Problem, d, s []float64) (*ThetaResult, error) {
 	}
 	_ = nTheta
 	return res, nil
+}
+
+// CornerThetas returns the exact evaluation points of WorstCaseTheta —
+// every vertex of the operating box plus the nominal point, in
+// enumeration order. The speculative pipeline uses it to pre-simulate
+// the (serial) corner sweep in parallel; the points are mutually
+// independent, so warming order cannot change any result.
+func CornerThetas(p *problem.Problem) [][]float64 {
+	return append(enumerateCorners(p.Theta), p.NominalTheta())
 }
 
 // enumerateCorners returns the 2^n vertices of the operating box.

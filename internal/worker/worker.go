@@ -51,6 +51,12 @@ type Config struct {
 	// setting).
 	VerifyWorkers int
 	SweepWorkers  int
+	// Speculate turns on the predict-ahead evaluation pipeline for
+	// optimize jobs claimed by this worker; SpecWorkers bounds the
+	// per-job speculation pool (0 = GOMAXPROCS). Behaviour-preserving:
+	// results and simulation counts are bit-identical either way.
+	Speculate   bool
+	SpecWorkers int
 	// SharedEvalCache enables this worker's process-local shared
 	// evaluation cache: jobs claimed by this process on the same problem
 	// (the lease's problemHash) reuse each other's simulations, the
@@ -171,6 +177,8 @@ func runLease(ctx context.Context, cfg *Config, lease *jobs.Lease, shared *evalc
 		env := jobs.ExecEnv{
 			VerifyWorkers: cfg.VerifyWorkers,
 			SweepWorkers:  cfg.SweepWorkers,
+			Speculate:     cfg.Speculate,
+			SpecWorkers:   cfg.SpecWorkers,
 		}
 		if shared != nil && lease.ProblemHash != "" {
 			// This worker's local shard of the sweep: jobs claimed here on

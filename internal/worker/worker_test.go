@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -48,13 +49,14 @@ type scriptedServer struct {
 	claimFailures  int // serve this many 503s before granting the lease
 	resultFailures int // serve this many 500s before accepting
 	leaseTTL       float64
-	heartbeatCode  int // 0 = 200
-
-	claims     int
-	heartbeats int
-	results    int
-	fails      int
-	granted    bool
+	heartbeatCode  int              // 0 = 200
+	kind           string           // lease kind; "" = verify
+	options        *jobs.RunOptions // lease options; nil = a small verify
+	claims         int
+	heartbeats     int
+	results        int
+	fails          int
+	granted        bool
 }
 
 func (s *scriptedServer) handler() http.Handler {
@@ -73,16 +75,24 @@ func (s *scriptedServer) handler() http.Handler {
 			return
 		}
 		s.granted = true
+		kind := s.kind
+		if kind == "" {
+			kind = jobs.KindVerify
+		}
+		opts := jobs.RunOptions{VerifySamples: 50, Seed: jobs.Seed(1)}
+		if s.options != nil {
+			opts = *s.options
+		}
 		lease := jobs.Lease{
 			JobID:      "job-000001",
 			LeaseID:    "lease-000001",
-			Kind:       jobs.KindVerify,
+			Kind:       kind,
 			Deadline:   time.Now().Add(time.Duration(s.leaseTTL * float64(time.Second))),
 			TTLSeconds: s.leaseTTL,
 			Request: jobs.Request{
-				Kind:    jobs.KindVerify,
+				Kind:    kind,
 				Circuit: "analytic",
-				Options: jobs.RunOptions{VerifySamples: 50, Seed: jobs.Seed(1)},
+				Options: opts,
 			},
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -181,6 +191,68 @@ func TestWorkerAbandonsLostLease(t *testing.T) {
 	}
 	if took := time.Since(start); took > 5*time.Second {
 		t.Errorf("abandoning the lease took %v", took)
+	}
+}
+
+// Lease expiry mid-speculation: a remote worker running an optimize job
+// with the predict-ahead pipeline loses its lease (heartbeat 409) and
+// must abandon promptly — cancelling the speculation pool along with the
+// authoritative run, posting nothing, and leaking no goroutines.
+func TestWorkerAbandonsLostLeaseWhileSpeculating(t *testing.T) {
+	script := &scriptedServer{
+		leaseTTL:      0.06,
+		heartbeatCode: http.StatusConflict,
+		kind:          jobs.KindOptimize,
+		options: &jobs.RunOptions{
+			ModelSamples:  2000,
+			VerifySamples: 100,
+			MaxIterations: 3,
+			Seed:          jobs.Seed(7),
+		},
+	}
+	ts := httptest.NewServer(script.handler())
+	defer ts.Close()
+
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	err := Run(context.Background(), Config{
+		Server:      ts.URL,
+		Name:        "w1",
+		MaxJobs:     1,
+		Poll:        5 * time.Millisecond,
+		Backoff:     2 * time.Millisecond,
+		Speculate:   true,
+		SpecWorkers: 4,
+		// Slow evaluations keep both the authoritative run and the
+		// speculation pool busy well past the 60ms lease.
+		Resolve: func(*jobs.Request) (*core.Problem, error) { return testProblem(500 * time.Microsecond), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script.mu.Lock()
+	if script.heartbeats == 0 {
+		t.Error("worker never heartbeated")
+	}
+	if script.results != 0 || script.fails != 0 {
+		t.Errorf("abandoned run still reported (results %d, fails %d)", script.results, script.fails)
+	}
+	script.mu.Unlock()
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("abandoning the lease took %v", took)
+	}
+
+	// The speculation pool must be fully drained once Run returns; poll
+	// briefly since runtime bookkeeping can lag the executor's WaitGroup.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
