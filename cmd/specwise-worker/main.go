@@ -45,7 +45,7 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	speculate := flag.Bool("speculate", false,
-		"predict-ahead evaluation for claimed optimize jobs (bit-identical results and simulation counts)")
+		"predict-ahead evaluation for claimed optimize jobs that omit options.speculate; an explicit options.speculate=false opts out (bit-identical results and simulation counts)")
 	specWorkers := flag.Int("spec-workers", 0,
 		"speculation pool per job (0 = GOMAXPROCS; requires -speculate or options.speculate)")
 	maxJobs := flag.Int("max-jobs", 0, "exit after this many executed jobs (0 = run forever)")

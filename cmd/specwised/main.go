@@ -11,11 +11,12 @@
 //	    [-speculate] [-spec-workers N] [-pprof-addr :6060]
 //
 // -speculate turns on the predict-ahead evaluation pipeline for
-// optimize jobs that do not set options.speculate: while the optimizer
-// executes its authoritative step, idle cores pre-run the simulations
-// the predicted next step will need. Results and simulation counts are
-// bit-identical with speculation on or off; -spec-workers bounds the
-// per-job speculation pool (0 = GOMAXPROCS).
+// optimize jobs that leave options.speculate unset (an explicit
+// options.speculate — true or false — always wins, so a request can opt
+// out): while the optimizer executes its authoritative step, idle cores
+// pre-run the simulations the predicted next step will need. Results and
+// simulation counts are bit-identical with speculation on or off;
+// -spec-workers bounds the per-job speculation pool (0 = GOMAXPROCS).
 //
 // -pprof-addr serves net/http/pprof on a separate listener (off by
 // default, never on the API address): profile a live daemon with
@@ -85,7 +86,7 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0,
 		"default per-frequency AC-sweep fan-out per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	speculate := flag.Bool("speculate", false,
-		"predict-ahead evaluation for optimize jobs that omit options.speculate (bit-identical results and simulation counts)")
+		"predict-ahead evaluation for optimize jobs that omit options.speculate; an explicit options.speculate=false opts out (bit-identical results and simulation counts)")
 	specWorkers := flag.Int("spec-workers", 0,
 		"speculation pool per job (0 = GOMAXPROCS; requires -speculate or options.speculate)")
 	pprofAddr := flag.String("pprof-addr", "",

@@ -30,10 +30,19 @@ package core
 //     with speculation on or off. Unclaimed entries are wasted idle
 //     cycles, reported in Result.Speculation.
 //
-// Scheduling: every speculative simulator call passes a sched.AcquireSpec
-// gate, so speculation runs strictly below the foreground's extra-worker
-// pools and drains out of the machine within one simulator call of the
-// foreground ramping up. Stale predictions are cancelled by round
+// Scheduling: every speculative simulator call on the pool passes a
+// sched.AcquireSpec gate, so speculation runs strictly below the
+// foreground's extra-worker pools and drains out of the machine within
+// one simulator call of the foreground ramping up. The pool's context is
+// marked with sched.WithSpec so nested pools (the MC verification, the
+// worst-case gradient) spawn their extras ungated rather than holding
+// foreground slots across the gate wait — a blocked goroutine sitting on
+// a foreground slot would pin the very capacity the gate admits against,
+// freezing speculation and starving the authoritative pools. Predict is
+// the one exception: it runs synchronously on the authoritative
+// goroutine between Steps, so its evaluations (claimed by the next Step)
+// run at foreground priority through an ungated handle — the foreground
+// never waits on the scheduler. Stale predictions are cancelled by round
 // rotation — each new Predict cancels the previous round's context —
 // and engine shutdown waits for in-flight speculative work, so nothing
 // writes after Optimize returns.
@@ -131,9 +140,12 @@ func newSpecExec(e *Engine, sp Speculator) *specExec {
 	return s
 }
 
-// start launches the pool under the run's context.
+// start launches the pool under the run's context. The pool context is
+// marked speculative (sched.WithSpec) so every nested pool reached from
+// a speculative replay spawns ungated extras instead of holding
+// foreground scheduler slots across the speculation gate.
 func (s *specExec) start(ctx context.Context) {
-	s.baseCtx, s.baseStop = context.WithCancel(ctx)
+	s.baseCtx, s.baseStop = context.WithCancel(sched.WithSpec(ctx))
 	s.tasks = make(chan specTask, 4*s.workers+16)
 	for w := 0; w < s.workers; w++ {
 		s.wg.Add(1)
@@ -245,17 +257,42 @@ func (e *Engine) specWrap(ctx context.Context) *Problem {
 	return q
 }
 
-// SpecProblem returns a speculative handle for the current prediction
-// round, for use inside Speculator.Predict only: evaluations populate
-// the run's cache without touching its effort counters, each simulator
-// call waits for a low-priority scheduler slot, and the handle dies with
-// the round (the next Predict cancels it). Returns nil when speculation
-// is off.
+// predictGate admits Predict-time simulator calls without touching the
+// scheduler: Predict runs synchronously on the authoritative goroutine
+// between Steps, so its evaluations are foreground critical-path work —
+// blocking them on a speculation-class slot would let other traffic
+// (other jobs' foreground pools, this run's own pool) stall the
+// authoritative loop inside its own Predict, at the scheduler's lowest
+// priority. Only the context check remains, so a dead round still
+// aborts the warm.
+func predictGate(ctx context.Context) evalcache.SpecGate {
+	return func() (func(), error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return func() {}, nil
+	}
+}
+
+// SpecProblem returns the prediction handle for the current round, for
+// use inside Speculator.Predict only: evaluations populate the run's
+// cache as speculative entries (claim-based accounting — the effort is
+// counted when the authoritative run touches them, keeping
+// Result.Simulations identical with speculation on or off), and the
+// handle dies with the round (the next Predict cancels it). Because
+// Predict runs on the authoritative goroutine, the handle is ungated —
+// it never waits for a scheduler slot; callers that fan warms out should
+// bound them with the foreground caller-runs TryAcquire pattern. Returns
+// nil when speculation is off.
 func (e *Engine) SpecProblem() *Problem {
 	if e.specExec == nil || e.specExec.roundCtx == nil {
 		return nil
 	}
-	return e.specWrap(e.specExec.roundCtx)
+	q := e.specCache.WrapSpec(e.problem, predictGate(e.specExec.roundCtx))
+	if e.opts.NoConstraints {
+		q.Constraints = nil
+	}
+	return q
 }
 
 // SpeculateAnalyze exposes the engine's speculative Analyze replay to
@@ -317,6 +354,10 @@ func (e *Engine) speculativeAnalyze(ctx context.Context, p *Problem, d []float64
 				return p.Specs[i].Margin(vals[i]), nil
 			}
 			wcOpts := opts.WC
+			// The margin function blocks on the speculation gate per call;
+			// the gradient pool must not hold foreground slots across that
+			// wait (see wcd.Options.Speculative).
+			wcOpts.Speculative = true
 			if wcOpts.Seed == 0 {
 				wcOpts.Seed = seed + uint64(i)*1000003
 			} else {

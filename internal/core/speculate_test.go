@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"specwise/internal/evalcache"
+	"specwise/internal/sched"
 	"specwise/internal/testprob"
 )
 
@@ -274,5 +275,111 @@ func TestSpecProblemNilOutsideRound(t *testing.T) {
 	eng := newEngine(testprob.Analytic(), Options{ModelSamples: 100, SkipVerify: true, Seed: 1})
 	if sp := eng.SpecProblem(); sp != nil {
 		t.Errorf("SpecProblem on a non-speculating engine = %v, want nil", sp)
+	}
+}
+
+// TestSpeculativeVerifyHoldsNoForegroundSlots: under a speculative
+// context (sched.WithSpec), the Monte-Carlo pool must spawn its extras
+// ungated. A speculative extra holding a foreground slot while blocking
+// on the speculation gate inside Eval would pin foreground capacity in a
+// blocked state — freezing the speculation round and starving the
+// authoritative pools. The ungated extras must still overlap samples.
+func TestSpeculativeVerifyHoldsNoForegroundSlots(t *testing.T) {
+	p := testprob.Analytic()
+	inner := p.Eval
+	var inFlight, maxInFlight, sawForeground atomic.Int64
+	p.Eval = func(d, s, th []float64) ([]float64, error) {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := maxInFlight.Load()
+			if n <= old || maxInFlight.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		if fg := sched.Default().Stats().FgInUse; fg > 0 {
+			sawForeground.Store(int64(fg))
+		}
+		time.Sleep(200 * time.Microsecond) // let samples overlap
+		return inner(d, s, th)
+	}
+	thetas := make([][]float64, p.NumSpecs())
+	for i := range thetas {
+		th := make([]float64, len(p.Theta))
+		for j, r := range p.Theta {
+			th[j] = r.Nominal
+		}
+		thetas[i] = th
+	}
+	ctx := sched.WithSpec(context.Background())
+	if _, err := VerifyMCContext(ctx, p, p.InitialDesign(), thetas, 64, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if fg := sawForeground.Load(); fg != 0 {
+		t.Errorf("speculative verification held %d foreground slots", fg)
+	}
+	if maxInFlight.Load() < 2 {
+		t.Errorf("ungated extras never ran concurrently (max in flight %d)", maxInFlight.Load())
+	}
+}
+
+// noPredict is the minimal Speculator: it never names a point, so the
+// pool stays empty and tests can poke the prediction handle directly.
+type noPredict struct{}
+
+func (noPredict) Predict(e *Engine) [][]float64 { return nil }
+
+// TestPredictHandleRunsUngated: Predict runs synchronously on the
+// authoritative goroutine, so its handle must never wait for a scheduler
+// slot. With foreground capacity fully saturated (as another job's pools
+// would in a busy daemon), a speculation-gated handle would block
+// indefinitely inside Predict — the foreground waiting on the scheduler,
+// which the sched contract forbids. The prediction handle must evaluate
+// regardless.
+func TestPredictHandleRunsUngated(t *testing.T) {
+	p := testprob.Analytic()
+	eng := newEngine(p, Options{ModelSamples: 100, SkipVerify: true, Seed: 1, Speculate: true, SpecWorkers: 1})
+	if eng.specCache == nil {
+		t.Fatal("engine has no speculation-capable cache")
+	}
+	eng.specExec = newSpecExec(eng, noPredict{})
+	eng.specExec.start(context.Background())
+	defer eng.specExec.shutdown()
+	eng.specExec.round()
+
+	// Saturate foreground capacity so AcquireSpec could never be granted.
+	sch := sched.Default()
+	held := 0
+	for sch.TryAcquire() {
+		held++
+	}
+	defer func() {
+		for ; held > 0; held-- {
+			sch.Release()
+		}
+	}()
+
+	sp := eng.SpecProblem()
+	if sp == nil {
+		t.Fatal("SpecProblem returned nil inside a round")
+	}
+	d := p.InitialDesign()
+	zeroS := make([]float64, p.NumStat())
+	theta := make([]float64, len(p.Theta))
+	for j, r := range p.Theta {
+		theta[j] = r.Nominal
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := sp.Eval(d, zeroS, theta)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("prediction handle blocked on the scheduler under saturated foreground capacity")
 	}
 }

@@ -101,10 +101,27 @@ func VerifyMCContext(ctx context.Context, p *Problem, d []float64, thetas [][]fl
 	// workers-1 extra goroutines join only while the process-wide compute
 	// scheduler has free foreground slots, so nested pools (an AC sweep
 	// inside a verification sample) size themselves to the machine
-	// together instead of multiplying.
+	// together instead of multiplying. Under a speculative context the
+	// extras spawn ungated instead: each Eval already waits for a
+	// speculation-class slot inside the handle, and an extra that held a
+	// foreground slot across that wait would pin foreground capacity in a
+	// blocked state — freezing speculation and starving the authoritative
+	// pools of the very slots it sat on.
 	sch := sched.Default()
+	speculative := sched.IsSpec(ctx)
 	var wg sync.WaitGroup
-	for extra := 0; extra < workers-1 && sch.TryAcquire(); extra++ {
+	for extra := 0; extra < workers-1; extra++ {
+		if speculative {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+			continue
+		}
+		if !sch.TryAcquire() {
+			break
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()

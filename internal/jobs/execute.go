@@ -27,10 +27,12 @@ type ExecEnv struct {
 	// requests that do not set options.sweepWorkers (0 = GOMAXPROCS).
 	SweepWorkers int
 	// Speculate turns on the predict-ahead evaluation pipeline for
-	// optimize requests that do not set options.speculate; SpecWorkers is
-	// the speculation-pool default for requests that do not set
-	// options.specWorkers (0 = GOMAXPROCS). Behaviour-preserving like the
-	// other knobs: results and simulation counts are bit-identical.
+	// optimize requests that leave options.speculate unset — an explicit
+	// options.speculate (true or false) always wins, so a request can opt
+	// out of a speculating fleet. SpecWorkers is the speculation-pool
+	// default for requests that do not set options.specWorkers
+	// (0 = GOMAXPROCS). Behaviour-preserving like the other knobs:
+	// results and simulation counts are bit-identical.
 	Speculate   bool
 	SpecWorkers int
 	// Progress, when non-nil, receives optimizer milestones. Remote
@@ -94,9 +96,10 @@ func Execute(ctx context.Context, p *core.Problem, req *Request, env ExecEnv) (*
 		if opts.SweepWorkers <= 0 {
 			opts.SweepWorkers = env.SweepWorkers
 		}
-		if !opts.Speculate {
-			opts.Speculate = env.Speculate
-		}
+		// Tri-state merge: an explicit request value (true or false) wins;
+		// only an absent options.speculate follows the pool default, so a
+		// client can opt one request out of a -speculate fleet.
+		opts.Speculate = req.Options.speculateOr(env.Speculate)
 		if opts.SpecWorkers <= 0 {
 			opts.SpecWorkers = env.SpecWorkers
 		}

@@ -81,15 +81,24 @@ type RunOptions struct {
 	// optimizer executes the authoritative step, idle cores pre-run the
 	// simulations the predicted next step will need. Behaviour-preserving
 	// like the worker knobs (results and simulation counts are
-	// bit-identical with speculation on or off), so requests that omit it
-	// hash identically to pre-knob requests and keep hitting the result
-	// cache. SpecWorkers bounds the speculation pool (0 = GOMAXPROCS).
-	Speculate   bool `json:"speculate,omitempty"`
-	SpecWorkers int  `json:"specWorkers,omitempty"`
+	// bit-identical with speculation on or off). The pointer makes the
+	// option tri-state: nil follows the executing pool's default (the
+	// daemon/worker -speculate flag), while an explicit false opts a
+	// request out of a speculating fleet — distinguishable from "unset",
+	// which a plain bool with omitempty cannot express on the wire.
+	// Requests that leave it nil marshal without the field and hash
+	// identically to pre-knob requests, keeping the result cache warm.
+	// SpecWorkers bounds the speculation pool (0 = GOMAXPROCS).
+	Speculate   *bool `json:"speculate,omitempty"`
+	SpecWorkers int   `json:"specWorkers,omitempty"`
 }
 
 // Seed returns a pointer to v, for building RunOptions literals.
 func Seed(v uint64) *uint64 { return &v }
+
+// Bool returns a pointer to v, for building RunOptions literals
+// (options.speculate is tri-state: nil, explicit true, explicit false).
+func Bool(v bool) *bool { return &v }
 
 // defaultSeed is the optimizer's default random stream (DAC 2001
 // opening day), used when a request leaves the seed unset.
@@ -102,6 +111,16 @@ func (o RunOptions) seed() uint64 {
 		return *o.Seed
 	}
 	return defaultSeed
+}
+
+// speculateOr resolves the tri-state speculate option against the
+// executing pool's default: an explicit request value — true or false —
+// always wins, nil follows the pool.
+func (o RunOptions) speculateOr(def bool) bool {
+	if o.Speculate != nil {
+		return *o.Speculate
+	}
+	return def
 }
 
 // Core converts the wire options into optimizer options.
@@ -130,7 +149,7 @@ func (o RunOptions) Core() core.Options {
 		RefineThetaPasses:  o.RefineThetaPasses,
 		VerifyWorkers:      o.VerifyWorkers,
 		SweepWorkers:       o.SweepWorkers,
-		Speculate:          o.Speculate,
+		Speculate:          o.Speculate != nil && *o.Speculate,
 		SpecWorkers:        o.SpecWorkers,
 	}
 }
@@ -202,7 +221,7 @@ func (o RunOptions) verifyIgnored() []string {
 	add(o.QuadraticSpecs, "quadraticSpecs")
 	add(o.RefineThetaPasses != 0, "refineThetaPasses")
 	add(o.SweepWorkers != 0, "sweepWorkers")
-	add(o.Speculate, "speculate")
+	add(o.Speculate != nil, "speculate")
 	add(o.SpecWorkers != 0, "specWorkers")
 	return bad
 }

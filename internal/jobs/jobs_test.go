@@ -557,3 +557,46 @@ func TestSeedZeroIsRequestable(t *testing.T) {
 		t.Errorf("seed-0 job result differs from direct seed-0 run:\n got %s\nwant %s", bz, want)
 	}
 }
+
+// TestSpeculateTriState: options.speculate must distinguish "unset"
+// (follow the pool default) from an explicit false (opt out of a
+// -speculate fleet) — with a plain bool the two were indistinguishable
+// on the wire and the daemon default silently overrode a client's off.
+func TestSpeculateTriState(t *testing.T) {
+	// Wire form: unset stays off the wire (pre-knob hashes intact),
+	// explicit values — both of them — are encoded.
+	if blob, _ := json.Marshal(RunOptions{}); strings.Contains(string(blob), "speculate") {
+		t.Errorf("unset speculate leaks into the encoding: %s", blob)
+	}
+	if blob, _ := json.Marshal(RunOptions{Speculate: Bool(true)}); !strings.Contains(string(blob), `"speculate":true`) {
+		t.Errorf("explicit opt-in encoded unexpectedly: %s", blob)
+	}
+	if blob, _ := json.Marshal(RunOptions{Speculate: Bool(false)}); !strings.Contains(string(blob), `"speculate":false`) {
+		t.Errorf("explicit opt-out must be wire-visible: %s", blob)
+	}
+
+	// Pool-default merge: an explicit request value always wins.
+	cases := []struct {
+		opt       *bool
+		def, want bool
+	}{
+		{nil, false, false},
+		{nil, true, true},
+		{Bool(true), false, true},
+		{Bool(false), true, false},
+	}
+	for _, c := range cases {
+		if got := (RunOptions{Speculate: c.opt}).speculateOr(c.def); got != c.want {
+			t.Errorf("speculateOr(opt=%v, def=%v) = %v, want %v", c.opt, c.def, got, c.want)
+		}
+	}
+
+	// Core() honors only an explicit opt-in; the pool default is merged
+	// later by Execute.
+	if (RunOptions{Speculate: Bool(false)}).Core().Speculate {
+		t.Error("explicit opt-out reached core options as on")
+	}
+	if !(RunOptions{Speculate: Bool(true)}).Core().Speculate {
+		t.Error("explicit opt-in lost on the way to core options")
+	}
+}

@@ -70,9 +70,10 @@ type Config struct {
 	// are bit-identical for every setting.
 	SweepWorkers int
 	// Speculate turns on the predict-ahead evaluation pipeline for
-	// optimize jobs that do not set options.speculate; SpecWorkers bounds
-	// the per-job speculation pool (0 means GOMAXPROCS). Results and
-	// simulation counts are bit-identical for every setting.
+	// optimize jobs that leave options.speculate unset (an explicit
+	// options.speculate — true or false — always wins); SpecWorkers
+	// bounds the per-job speculation pool (0 means GOMAXPROCS). Results
+	// and simulation counts are bit-identical for every setting.
 	Speculate   bool
 	SpecWorkers int
 	// SharedEvalCache turns on the manager-scoped shared evaluation

@@ -25,6 +25,16 @@
 //     deliberately ignores speculative holds (transient oversubscription
 //     bounded by the speculative capacity beats priority inversion).
 //
+// The classes must never mix on one goroutine: a goroutine that blocks
+// in AcquireSpec while holding a foreground slot pins capacity that
+// AcquireSpec itself is waiting on, and enough such goroutines freeze
+// speculation entirely while starving authoritative TryAcquire. Pools
+// that can run on both sides of the divide therefore check IsSpec on
+// their context: under a speculative context they spawn their extras
+// ungated (the extras hold no slots — actual simulator concurrency is
+// already bounded by the speculation gate inside the evaluation handle),
+// and only foreground work takes TryAcquire slots.
+//
 // Determinism is untouched by construction: the scheduler only decides
 // how many goroutines run concurrently, and every pool it gates writes
 // results by index (or through the bit-exact evaluation cache), so
@@ -107,6 +117,26 @@ func Default() *Sched {
 	return defaultSch
 }
 
+// specCtxKey marks contexts that belong to the speculative pipeline.
+type specCtxKey struct{}
+
+// WithSpec marks ctx (and everything derived from it) as speculative:
+// work under it runs at speculation priority, and pools that spawn
+// extra workers must consult IsSpec and spawn them ungated instead of
+// taking foreground TryAcquire slots. This is what keeps the class
+// divide intact across nested pools — a speculative goroutine that held
+// a foreground slot while blocking in AcquireSpec would pin the very
+// capacity AcquireSpec waits on.
+func WithSpec(ctx context.Context) context.Context {
+	return context.WithValue(ctx, specCtxKey{}, true)
+}
+
+// IsSpec reports whether ctx was marked speculative by WithSpec.
+func IsSpec(ctx context.Context) bool {
+	v, _ := ctx.Value(specCtxKey{}).(bool)
+	return v
+}
+
 // TryAcquire requests one foreground extra-worker slot without blocking.
 // Callers must follow the caller-runs pattern: the requesting goroutine
 // does work itself regardless, extra workers only join while slots are
@@ -137,15 +167,20 @@ func (s *Sched) Release() {
 
 // AcquireSpec blocks until a speculative slot is available — total
 // occupancy below capacity and speculative holds below the speculative
-// ceiling — or ctx is cancelled. Hold the slot for one simulator call,
-// then ReleaseSpec: per-evaluation holds are what lets the foreground
-// reclaim the machine within one call.
+// ceiling — or ctx is cancelled. A cancelled ctx is refused even when a
+// slot is immediately free, so a dead speculation round can never launch
+// one more simulator call. Hold the slot for one simulator call, then
+// ReleaseSpec: per-evaluation holds are what lets the foreground reclaim
+// the machine within one call.
 func (s *Sched) AcquireSpec(ctx context.Context) error {
 	s.mu.Lock()
-	for s.spec >= s.specCap || s.fg+s.spec >= s.capacity {
+	for {
 		if err := ctx.Err(); err != nil {
 			s.mu.Unlock()
 			return err
+		}
+		if s.spec < s.specCap && s.fg+s.spec < s.capacity {
+			break
 		}
 		s.specWaiting++
 		// Wake the cond wait when ctx dies so cancellation cannot strand

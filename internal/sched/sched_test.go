@@ -102,6 +102,39 @@ func TestAcquireSpecCancellation(t *testing.T) {
 	s.ReleaseSpec()
 }
 
+// TestAcquireSpecCancelledAtEntry: a dead context is refused even when a
+// slot is immediately free — a cancelled speculation round must not get
+// to launch one more simulator call.
+func TestAcquireSpecCancelledAtEntry(t *testing.T) {
+	s := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.AcquireSpec(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.SpecInUse != 0 || st.SpecGranted != 0 {
+		t.Fatalf("cancelled acquire touched slots: %+v", st)
+	}
+}
+
+func TestSpecContextMark(t *testing.T) {
+	ctx := context.Background()
+	if IsSpec(ctx) {
+		t.Fatal("plain context reported speculative")
+	}
+	marked := WithSpec(ctx)
+	if !IsSpec(marked) {
+		t.Fatal("WithSpec context not reported speculative")
+	}
+	// The mark survives derivation — nested pools see it through the
+	// cancellation contexts layered on top.
+	derived, cancel := context.WithCancel(marked)
+	defer cancel()
+	if !IsSpec(derived) {
+		t.Fatal("derived context lost the speculative mark")
+	}
+}
+
 func TestConcurrentStress(t *testing.T) {
 	s := New(3)
 	var fgHeld, specHeld, maxSpec atomic.Int64

@@ -13,11 +13,13 @@ package feasguided
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"specwise/internal/coord"
 	"specwise/internal/core"
 	"specwise/internal/feasopt"
 	"specwise/internal/linmodel"
+	"specwise/internal/sched"
 )
 
 // Name is the backend's registry and wire identifier.
@@ -176,14 +178,20 @@ var _ core.Speculator = (*Backend)(nil)
 
 // Predict implements core.Speculator: it derives the design point(s) the
 // next Step will analyze, issuing the simulations it needs through the
-// speculation-gated handle so they populate the cache for the upcoming
-// authoritative replay. The accept branch is an exact prediction — the
-// step's linearize → coordinate-search → line-search pipeline is a pure
-// function of the backend's (quiescent) state — and the serial
-// finite-difference and bisection sections are pre-warmed in parallel,
-// which is where the multi-core win comes from. The reject branch
-// (shrunken trust region from the same point) is a lookahead for the
-// step after next; if it turns out wrong it only wasted idle cycles.
+// engine's prediction handle so they populate the cache for the upcoming
+// authoritative replay. Predict runs synchronously on the authoritative
+// goroutine, so the handle is ungated (foreground priority — the
+// authoritative loop must never wait on the scheduler) and the warm
+// fan-out below bounds itself with foreground caller-runs slots. The
+// accept branch is an exact prediction — the step's linearize →
+// coordinate-search → line-search pipeline is a pure function of the
+// backend's (quiescent) state, so its simulations are all claimed by the
+// next Step — and the serial finite-difference and bisection sections
+// are pre-warmed in parallel, which is where the multi-core win comes
+// from. The reject branch (shrunken trust region from the same point) is
+// a lookahead for the step after next; its extra cost over the accept
+// branch is a handful of line-search points (the linearization probes
+// are shared), wasted only when the step is accepted.
 func (b *Backend) Predict(e *core.Engine) [][]float64 {
 	opts := e.Options()
 	if b.accepted >= opts.MaxIterations || b.attempt >= opts.MaxIterations+4 {
@@ -214,7 +222,7 @@ func (b *Backend) Predict(e *core.Engine) [][]float64 {
 }
 
 // predictStep replays one Step's candidate derivation through the
-// speculative handle sp: linearize (probes pre-warmed in parallel),
+// prediction handle sp: linearize (probes pre-warmed in parallel),
 // coordinate search (pure computation on the frozen estimator), line
 // search (dyadic γ grid pre-warmed, then exact bisection replay).
 // Returns nil when the step would stop or the replay fails.
@@ -282,19 +290,37 @@ func warmGammaGrid(sp *core.Problem, df, dstar []float64) {
 	warmPoints(sp, points)
 }
 
-// warmPoints evaluates the constraint function at every point
-// concurrently, ignoring errors; actual simulator concurrency is bounded
-// by the speculation gate inside the handle.
+// warmPoints evaluates the constraint function at every point, ignoring
+// errors. The handle is ungated (Predict runs at foreground priority),
+// so the fan-out bounds itself like every other foreground pool: the
+// calling goroutine always works, and extras join only while the
+// process-wide compute scheduler has free foreground slots — the
+// authoritative goroutine never blocks on the scheduler.
 func warmPoints(sp *core.Problem, points [][]float64) {
+	if len(points) == 0 {
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(points) {
+				return
+			}
+			_, _ = sp.Constraints(points[i])
+		}
+	}
+	sch := sched.Default()
 	var wg sync.WaitGroup
-	for _, d := range points {
-		d := d
+	for extra := 0; extra < len(points)-1 && sch.TryAcquire(); extra++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = sp.Constraints(d)
+			defer sch.Release()
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
 }
 

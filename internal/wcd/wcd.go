@@ -46,6 +46,17 @@ type Options struct {
 	// and assembled in index order, so the gradient — and every result
 	// derived from it — is identical for any worker count.
 	GradWorkers int
+	// Speculative marks a search running under the speculative pipeline:
+	// the gradient pool spawns its extra workers ungated instead of
+	// taking foreground scheduler slots. The margin function of a
+	// speculative search blocks on a speculation-class slot per simulator
+	// call, and an extra worker that sat on a foreground slot across that
+	// wait would pin foreground capacity in a blocked state (freezing
+	// speculation and degrading the authoritative run to serial). The
+	// ungated extras hold nothing — simulator concurrency stays bounded
+	// by the speculation gate inside the margin function. Results are
+	// identical either way; only scheduling changes.
+	Speculative bool
 }
 
 func (o *Options) defaults() {
@@ -92,15 +103,18 @@ type WorstCase struct {
 }
 
 // gradient computes a forward-difference margin gradient; f0 is the margin
-// at s, reused to save one evaluation per component. A NaN probe (broken
-// circuit) is retried in the opposite direction; if both sides fail the
-// component is treated as locally insensitive rather than poisoning the
-// whole gradient. With workers > 1 the independent probes fan out over a
-// bounded pool; each component's value lands at its own index and errors
-// are reported in index order, so the result is bit-identical to the
-// serial path regardless of scheduling.
-func gradient(m MarginFunc, s []float64, f0, h float64, workers int) (linalg.Vector, int, error) {
+// at s, reused to save one evaluation per component (step opts.FDStep,
+// pool size opts.GradWorkers). A NaN probe (broken circuit) is retried in
+// the opposite direction; if both sides fail the component is treated as
+// locally insensitive rather than poisoning the whole gradient. With more
+// than one worker the independent probes fan out over a bounded pool;
+// each component's value lands at its own index and errors are reported
+// in index order, so the result is bit-identical to the serial path
+// regardless of scheduling.
+func gradient(m MarginFunc, s []float64, f0 float64, opts Options) (linalg.Vector, int, error) {
 	dim := len(s)
+	h := opts.FDStep
+	workers := opts.GradWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,8 +150,23 @@ func gradient(m MarginFunc, s []float64, f0, h float64, workers int) (linalg.Vec
 	// Caller-runs pool gated by the process-wide compute scheduler:
 	// components are claimed off a shared index and written by index, so
 	// the gradient is bit-identical however many extras actually join.
+	// Speculative searches spawn their extras ungated instead (see
+	// Options.Speculative): a foreground slot held across the margin
+	// function's blocking speculation-gate wait would pin foreground
+	// capacity.
 	sch := sched.Default()
-	for extra := 0; extra < workers-1 && sch.TryAcquire(); extra++ {
+	for extra := 0; extra < workers-1; extra++ {
+		if opts.Speculative {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				workFn()
+			}()
+			continue
+		}
+		if !sch.TryAcquire() {
+			break
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -326,7 +355,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 	}
 	var grad linalg.Vector
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		g, n, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
+		g, n, err := gradient(m, s, margin, opts)
 		evals += n
 		if err != nil {
 			return nil, evals, err
@@ -348,7 +377,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 				if math.Abs(margin) <= 10*opts.Tol {
 					wc.Converged = true
 				}
-				gBnd, n2, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
+				gBnd, n2, err := gradient(m, s, margin, opts)
 				evals += n2
 				if err != nil {
 					return nil, evals, err
@@ -429,7 +458,7 @@ func searchFrom(m MarginFunc, s0 linalg.Vector, m0 float64, opts Options) (*Wors
 		}
 	}
 	// Refresh the gradient at the final point for the linear model.
-	gFinal, n, err := gradient(m, s, margin, opts.FDStep, opts.GradWorkers)
+	gFinal, n, err := gradient(m, s, margin, opts)
 	evals += n
 	if err != nil {
 		return nil, evals, err

@@ -52,7 +52,8 @@ type Config struct {
 	VerifyWorkers int
 	SweepWorkers  int
 	// Speculate turns on the predict-ahead evaluation pipeline for
-	// optimize jobs claimed by this worker; SpecWorkers bounds the
+	// claimed optimize jobs that leave options.speculate unset (an
+	// explicit request value always wins); SpecWorkers bounds the
 	// per-job speculation pool (0 = GOMAXPROCS). Behaviour-preserving:
 	// results and simulation counts are bit-identical either way.
 	Speculate   bool
@@ -118,6 +119,9 @@ func Run(ctx context.Context, cfg Config) error {
 	if err := cfg.defaults(); err != nil {
 		return err
 	}
+	// Keep-alive connections to the server are useless once the worker
+	// stops; dropping them here lets their transport goroutines exit.
+	defer cfg.Client.CloseIdleConnections()
 	var shared *evalcache.Shared
 	if cfg.SharedEvalCache {
 		shared = evalcache.NewShared(cfg.EvalCacheSize)
