@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke storesmoke batchsmoke profile check serve
+.PHONY: all build test race vet fmt bench bench-check benchsmoke workersmoke storesmoke batchsmoke lanesmoke profile check serve
 
 all: check
 
@@ -105,6 +105,13 @@ storesmoke: build
 batchsmoke: build
 	$(GO) test -run TestBatchSmoke ./cmd/specwise-worker
 
+# End-to-end smoke of the traffic controls: a single-worker daemon
+# saturated with optimize jobs still completes an interactive verify
+# promptly (weighted lane round-robin), streaming its progress over SSE
+# to the terminal state.
+lanesmoke: build
+	$(GO) test -run TestLaneSmoke ./cmd/specwised
+
 vet:
 	$(GO) vet ./...
 
@@ -116,7 +123,7 @@ fmt:
 
 # Pre-merge gate. For hot-path changes, additionally run `make
 # bench-check` to catch >20% ns/op regressions against BENCH_core.json.
-check: build vet fmt test race workersmoke storesmoke batchsmoke benchsmoke
+check: build vet fmt test race workersmoke storesmoke batchsmoke lanesmoke benchsmoke
 
 # Run the yield-optimization daemon locally.
 serve:

@@ -12,8 +12,8 @@
 // Usage:
 //
 //	specwise-worker -server http://daemon:8080 [-token T] [-name host-1] \
-//	    [-poll 500ms] [-verify-workers N] [-sweep-workers N] \
-//	    [-speculate] [-spec-workers N] [-max-jobs N]
+//	    [-lane verify|optimize] [-poll 500ms] [-verify-workers N] \
+//	    [-sweep-workers N] [-speculate] [-spec-workers N] [-max-jobs N]
 //
 // The worker exits on SIGINT/SIGTERM (in-flight leases are dropped and
 // requeue on the daemon after the lease TTL), after -max-jobs jobs, or
@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"specwise/internal/jobs"
 	"specwise/internal/search"
 	"specwise/internal/worker"
 )
@@ -39,6 +40,8 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "base URL of the specwised instance")
 	token := flag.String("token", "", "worker bearer token (matching specwised -worker-token)")
 	name := flag.String("name", "", "worker name for leases and per-shard metrics (default hostname-pid)")
+	lane := flag.String("lane", "",
+		"claim only this priority lane (verify|optimize; empty = any lane under the server's weighted round-robin)")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between claim attempts")
 	verifyWorkers := flag.Int("verify-workers", 0,
 		"Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
@@ -64,6 +67,11 @@ func main() {
 		return
 	}
 
+	if *lane != "" && !jobs.ValidLane(*lane) {
+		fmt.Fprintf(os.Stderr, "specwise-worker: unknown -lane %q (want verify or optimize)\n", *lane)
+		os.Exit(2)
+	}
+
 	if *name == "" {
 		host, err := os.Hostname()
 		if err != nil {
@@ -80,6 +88,7 @@ func main() {
 		Server:          *server,
 		Token:           *token,
 		Name:            *name,
+		Lane:            *lane,
 		Poll:            *poll,
 		VerifyWorkers:   *verifyWorkers,
 		SweepWorkers:    *sweepWorkers,

@@ -5,10 +5,22 @@
 // Usage:
 //
 //	specwised [-addr :8080] [-workers N] [-queue N] \
+//	    [-verify-queue N] [-optimize-queue N] \
+//	    [-verify-weight 3] [-optimize-weight 1] \
 //	    [-worker-token T] [-lease-ttl 30s] [-remote-only] \
 //	    [-retain-jobs N] [-retain-for D] \
 //	    [-store jobs.wal] [-snapshot-every N] \
 //	    [-speculate] [-spec-workers N] [-pprof-addr :6060]
+//
+// Jobs are classified into two priority lanes at submit — cheap
+// "verify" jobs and heavy "optimize" jobs (options.lane overrides the
+// kind-based default) — and drained by a weighted round-robin so an
+// interactive verify never waits behind a wall of optimizes. Each lane
+// has its own bounded queue (-verify-queue / -optimize-queue, falling
+// back to -queue); a full lane rejects submissions with 429 and a
+// Retry-After computed from the lane's recent drain rate. Job progress
+// can be streamed live over server-sent events from
+// GET /v1/jobs/{id}/events.
 //
 // -speculate turns on the predict-ahead evaluation pipeline for
 // optimize jobs that leave options.speculate unset (an explicit
@@ -80,7 +92,15 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := flag.Int("workers", 0, "optimizer workers (0 = half the CPUs)")
-	queue := flag.Int("queue", 64, "job queue capacity")
+	queue := flag.Int("queue", 64, "per-lane job queue capacity (default for both lanes)")
+	verifyQueue := flag.Int("verify-queue", 0,
+		"verify-lane queue capacity (0 = use -queue)")
+	optimizeQueue := flag.Int("optimize-queue", 0,
+		"optimize-lane queue capacity (0 = use -queue)")
+	verifyWeight := flag.Int("verify-weight", 3,
+		"verify-lane share of the drain round-robin (relative to -optimize-weight)")
+	optimizeWeight := flag.Int("optimize-weight", 1,
+		"optimize-lane share of the drain round-robin (relative to -verify-weight)")
 	verifyWorkers := flag.Int("verify-workers", 0,
 		"default Monte-Carlo verification pool per job (0 = GOMAXPROCS; bit-identical results for any value)")
 	sweepWorkers := flag.Int("sweep-workers", 0,
@@ -133,9 +153,17 @@ func main() {
 	}
 
 	if err := run(*addr, *workerToken, *storePath, jobs.Config{
-		Workers:          *workers,
-		RemoteOnly:       *remoteOnly,
-		QueueSize:        *queue,
+		Workers:    *workers,
+		RemoteOnly: *remoteOnly,
+		QueueSize:  *queue,
+		LaneQueueSize: map[string]int{
+			jobs.LaneVerify:   *verifyQueue,
+			jobs.LaneOptimize: *optimizeQueue,
+		},
+		LaneWeights: map[string]int{
+			jobs.LaneVerify:   *verifyWeight,
+			jobs.LaneOptimize: *optimizeWeight,
+		},
 		VerifyWorkers:    *verifyWorkers,
 		SweepWorkers:     *sweepWorkers,
 		Speculate:        *speculate,

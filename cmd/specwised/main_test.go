@@ -443,6 +443,74 @@ func TestBatchCrashRecoverySIGKILL(t *testing.T) {
 	}
 }
 
+// TestLaneSmoke is the fast path `make lanesmoke` runs: with a single
+// local worker saturated by a wall of optimize jobs, an interactive
+// verify submission still jumps the line (the weighted round-robin
+// prefers the cheap lane) and its progress streams over SSE to the
+// terminal state while optimize work is still outstanding.
+func TestLaneSmoke(t *testing.T) {
+	d := startDaemon(t, "-workers", "1")
+	defer d.sigkill(t)
+
+	// Three medium optimize jobs: one occupies the single worker, two
+	// wait in the heavy lane.
+	var optimizeIDs []string
+	for seed := 41; seed <= 43; seed++ {
+		optimizeIDs = append(optimizeIDs, submit(t, d, fmt.Sprintf(`{"circuit": "ota",
+		  "options": {"modelSamples": 2000, "verifySamples": 2000, "maxIterations": 2, "seed": %d}}`, seed)))
+	}
+	verifyID := submit(t, d, `{"kind": "verify", "circuit": "ota",
+	  "options": {"verifySamples": 60, "seed": 7}}`)
+
+	// Stream the verify job's events to its terminal state. The stream
+	// closing is the synchronization point: the verify is done while the
+	// optimize wall is (at most minus one) still outstanding.
+	resp, err := http.Get(d.base + "/v1/jobs/" + verifyID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: code %d", resp.StatusCode)
+	}
+	finalState := ""
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"state"`) {
+			var st jobStatus
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &st); err == nil && st.State != "" {
+				finalState = st.State
+			}
+		}
+	}
+	if finalState != "done" {
+		t.Fatalf("verify stream ended in state %q, want done; logs:\n%s", finalState, d.log())
+	}
+
+	pendingOptimize := 0
+	for _, id := range optimizeIDs {
+		if status(t, d, id).State != "done" {
+			pendingOptimize++
+		}
+	}
+	if pendingOptimize == 0 {
+		t.Error("verify finished only after the whole optimize wall drained (lane priority not observable)")
+	}
+
+	code, metrics := httpBody(t, d.base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	if !strings.Contains(metrics, `specwised_lane_done{lane="verify"} 1`) {
+		t.Errorf("metrics missing verify-lane done counter:\n%s", metrics)
+	}
+
+	for _, id := range optimizeIDs {
+		waitFor(t, d, id, "done", 5*time.Minute)
+	}
+}
+
 // TestStoreSmoke is the fast path `make storesmoke` runs: submit, kill,
 // recover, verify — no mid-run interruption, so it completes in a few
 // seconds.

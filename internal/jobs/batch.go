@@ -181,6 +181,7 @@ func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
 			hash:        mr.hash,
 			problemHash: mr.probHash,
 			batch:       batch.id,
+			lane:        mr.req.lane(),
 			req:         mr.req,
 			problem:     problems[mr.probHash],
 			enqueued:    now,
@@ -192,12 +193,23 @@ func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
 			fresh = append(fresh, job)
 		}
 	}
-	if m.pending.Len()+len(fresh) > m.cfg.QueueSize {
-		// Atomic rejection: nothing was journaled or tracked yet, so the
-		// rollback is just the counters.
-		m.seq, m.batchSeq = seq0, batchSeq0
-		m.mu.Unlock()
-		return nil, ErrQueueFull
+	// Admission is per lane, over the whole batch, so a batch is never
+	// half-enqueued: every lane a fresh member lands in must have room
+	// for all of that lane's members at once.
+	freshPerLane := make(map[string]int)
+	for _, job := range fresh {
+		freshPerLane[job.lane]++
+	}
+	for lane, n := range freshPerLane {
+		lq := m.lanes[lane]
+		if lq.pending.Len()+n > lq.limit {
+			// Atomic rejection: nothing was journaled or tracked yet, so
+			// the rollback is just the counters.
+			qerr := &QueueFullError{Lane: lane, Depth: lq.pending.Len(), RetryAfter: lq.retryAfter(now)}
+			m.seq, m.batchSeq = seq0, batchSeq0
+			m.mu.Unlock()
+			return nil, qerr
+		}
 	}
 	// Journal every member, then the committing RecBatch. A member
 	// append failing mid-way leaves already-journaled members without a
@@ -207,7 +219,7 @@ func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
 	var journalErr error
 	for _, job := range uniq {
 		if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: job.hash,
-			Req: &job.req, Batch: batch.id, Time: now}); err != nil {
+			Req: &job.req, Batch: batch.id, Lane: job.lane, Time: now}); err != nil {
 			journalErr = err
 			break
 		}
@@ -251,7 +263,7 @@ func (m *Manager) SubmitBatch(reqs []Request) (*Batch, error) {
 			cachedHits++
 		} else {
 			job.state = StateQueued
-			job.queueEl = m.pending.PushBack(job)
+			m.enqueueLocked(job, false)
 		}
 	}
 	m.metrics.jobsTracked.Store(int64(len(m.jobs)))

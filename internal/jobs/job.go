@@ -38,6 +38,23 @@ const (
 	KindVerify = "verify"
 )
 
+// Priority lanes. The queue is split so cheap Monte-Carlo verifies keep
+// flowing underneath long optimize runs; the weighted round-robin drain
+// (see Manager.takeLocked) guarantees neither lane starves.
+const (
+	// LaneVerify is the cheap lane: quick Monte-Carlo yield checks.
+	LaneVerify = "verify"
+	// LaneOptimize is the heavy lane: full yield-optimization runs.
+	LaneOptimize = "optimize"
+)
+
+// Lanes lists the known lanes in drain-priority order (the weighted
+// round-robin cycle starts with the cheap lane).
+func Lanes() []string { return []string{LaneVerify, LaneOptimize} }
+
+// ValidLane reports whether name names a known priority lane.
+func ValidLane(name string) bool { return name == LaneVerify || name == LaneOptimize }
+
 // RunOptions is the JSON-facing subset of core.Options a request may set.
 // Zero values fall back to the optimizer's paper defaults.
 type RunOptions struct {
@@ -91,6 +108,14 @@ type RunOptions struct {
 	// SpecWorkers bounds the speculation pool (0 = GOMAXPROCS).
 	Speculate   *bool `json:"speculate,omitempty"`
 	SpecWorkers int   `json:"specWorkers,omitempty"`
+	// Lane overrides the priority-lane classification that normally
+	// follows the request kind (verify jobs ride the cheap lane, optimize
+	// jobs the heavy one) — e.g. a known-cheap single-iteration optimize
+	// may ask for the verify lane. Lanes are pure scheduling: results are
+	// bit-identical whichever lane runs a job, and the omitempty
+	// marshalling keeps lane-less request hashes byte-identical to the
+	// pre-field encoding so existing cache entries stay reachable.
+	Lane string `json:"lane,omitempty"`
 }
 
 // Seed returns a pointer to v, for building RunOptions literals.
@@ -182,6 +207,10 @@ func (r *Request) Normalize() error {
 		return fmt.Errorf("jobs: exactly one of circuit or spec is required")
 	}
 	r.Options.Algorithm = strings.ToLower(strings.TrimSpace(r.Options.Algorithm))
+	r.Options.Lane = strings.ToLower(strings.TrimSpace(r.Options.Lane))
+	if r.Options.Lane != "" && !ValidLane(r.Options.Lane) {
+		return fmt.Errorf("jobs: unknown lane %q (want %q or %q)", r.Options.Lane, LaneVerify, LaneOptimize)
+	}
 	switch r.Kind {
 	case KindOptimize:
 		if !core.KnownBackend(r.Options.Algorithm) {
@@ -200,8 +229,22 @@ func (r *Request) Normalize() error {
 	return nil
 }
 
+// lane classifies a normalized request into its priority lane: an
+// explicit options.lane wins, otherwise the kind decides — verify jobs
+// ride the cheap lane, optimize jobs the heavy one.
+func (r *Request) lane() string {
+	if r.Options.Lane != "" {
+		return r.Options.Lane
+	}
+	if r.Kind == KindVerify {
+		return LaneVerify
+	}
+	return LaneOptimize
+}
+
 // verifyIgnored lists the set options a verify-kind job would silently
-// ignore, by their wire names.
+// ignore, by their wire names. options.lane is absent on purpose: the
+// lane is honored by every kind.
 func (o RunOptions) verifyIgnored() []string {
 	var bad []string
 	add := func(set bool, name string) {
@@ -305,9 +348,12 @@ type Result struct {
 
 // Status is the JSON-friendly snapshot served by GET /v1/jobs/{id}.
 type Status struct {
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	State  State  `json:"state"`
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`
+	State State  `json:"state"`
+	// Lane is the priority lane the job queues in (see LaneVerify,
+	// LaneOptimize).
+	Lane   string `json:"lane,omitempty"`
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Batch names the owning batch submission, if any.
@@ -339,7 +385,10 @@ type Job struct {
 	// retention queue. Immutable after submit (cleared only for orphans
 	// of an uncommitted batch during recovery, before concurrency).
 	batch string
-	req   Request
+	// lane names the priority lane the job queues in; classified at
+	// submit (journaled, restored on recovery), immutable after.
+	lane string
+	req  Request
 
 	problem *core.Problem // resolved at submit time (or on recovery)
 
@@ -353,10 +402,17 @@ type Job struct {
 	userCanceled bool
 	progress     []ProgressEntry
 	result       *Result
+	// watch is closed (and replaced lazily) whenever the job's observable
+	// state changes — progress, lifecycle transitions, lease grants. SSE
+	// streams park on it instead of polling. nil until someone watches.
+	watch chan struct{}
 
-	// Queue membership: non-nil while the job waits in Manager.pending,
+	// Queue membership: non-nil while the job waits in its lane queue,
 	// removed eagerly on cancellation so the slot frees immediately.
-	queueEl *list.Element
+	// Guarded by Manager.mu (all queue surgery holds it), like queuedAt,
+	// the enqueue time the lane wait metric measures from.
+	queueEl  *list.Element
+	queuedAt time.Time
 
 	// Lease bookkeeping for remote pull-workers (empty for local runs).
 	worker        string
@@ -402,10 +458,18 @@ func (j *Job) Err() string {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked builds the snapshot; j.mu is held. Cancel returns it
+// from inside the locked region so the HTTP layer never needs a second
+// Get that could race the retention sweep.
+func (j *Job) statusLocked() Status {
 	st := Status{
 		ID:         j.id,
 		Kind:       j.req.Kind,
 		State:      j.state,
+		Lane:       j.lane,
 		Cached:     j.cached,
 		Error:      j.err,
 		Batch:      j.batch,
@@ -443,5 +507,28 @@ func (j *Job) addProgress(e core.ProgressEvent) {
 	}
 	j.mu.Lock()
 	j.progress = append(j.progress, entry)
+	j.notifyLocked()
 	j.mu.Unlock()
+}
+
+// Changed returns a channel that closes on the job's next observable
+// change (progress entry, state transition, lease grant). Watchers must
+// obtain the channel BEFORE snapshotting Status: any change after the
+// snapshot closes the returned channel, so no update can fall between
+// look and sleep.
+func (j *Job) Changed() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.watch == nil {
+		j.watch = make(chan struct{})
+	}
+	return j.watch
+}
+
+// notifyLocked wakes every watcher; j.mu is held.
+func (j *Job) notifyLocked() {
+	if j.watch != nil {
+		close(j.watch)
+		j.watch = nil
+	}
 }

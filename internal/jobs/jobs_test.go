@@ -207,7 +207,7 @@ func TestCancelRunningJob(t *testing.T) {
 		t.Fatalf("job never started (state %v)", job.State())
 	}
 	start := time.Now()
-	if err := m.Cancel(job.ID()); err != nil {
+	if _, err := m.Cancel(job.ID()); err != nil {
 		t.Fatal(err)
 	}
 	if st := waitState(t, job, 5*time.Second); st != StateCanceled {
@@ -234,13 +234,13 @@ func TestCancelQueuedJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Cancel(queued.ID()); err != nil {
+	if _, err := m.Cancel(queued.ID()); err != nil {
 		t.Fatal(err)
 	}
 	if st := queued.State(); st != StateCanceled {
 		t.Fatalf("queued job state after cancel = %v", st)
 	}
-	if err := m.Cancel(blocker.ID()); err != nil {
+	if _, err := m.Cancel(blocker.ID()); err != nil {
 		t.Fatal(err)
 	}
 	waitState(t, blocker, 5*time.Second)
@@ -274,7 +274,7 @@ func TestQueueFull(t *testing.T) {
 		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
 	}
 	for _, id := range []string{queued.ID(), blocker.ID()} {
-		if err := m.Cancel(id); err != nil {
+		if _, err := m.Cancel(id); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -362,7 +362,7 @@ func TestCancelQueuedJobFreesSlot(t *testing.T) {
 	if _, err := m.Submit(Request{Circuit: "analytic", Options: full}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("second submit: err = %v, want ErrQueueFull", err)
 	}
-	if err := m.Cancel(a.ID()); err != nil {
+	if _, err := m.Cancel(a.ID()); err != nil {
 		t.Fatal(err)
 	}
 	b, err := m.Submit(Request{Circuit: "analytic", Options: full})
@@ -440,7 +440,7 @@ func TestRetentionCapEvictsTerminalJobs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Cancel(j.ID()); err != nil {
+		if _, err := m.Cancel(j.ID()); err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, j.ID())
@@ -476,7 +476,7 @@ func TestRetentionTTLSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Cancel(j.ID()); err != nil {
+		if _, err := m.Cancel(j.ID()); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,317 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// submitVerify enqueues a cheap verify-kind job with a distinct seed.
+func submitVerify(t *testing.T, m *Manager, seed uint64) *Job {
+	t.Helper()
+	j, err := m.Submit(Request{
+		Kind:    KindVerify,
+		Circuit: "analytic",
+		Options: RunOptions{VerifySamples: 50, Seed: Seed(seed)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestLaneClassification(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true}, 0)
+
+	optimize := submitQuick(t, m, 1)
+	if got := optimize.Status().Lane; got != LaneOptimize {
+		t.Errorf("optimize job lane = %q, want %q", got, LaneOptimize)
+	}
+	verify := submitVerify(t, m, 2)
+	if got := verify.Status().Lane; got != LaneVerify {
+		t.Errorf("verify job lane = %q, want %q", got, LaneVerify)
+	}
+
+	// options.lane overrides the kind-based default, case-insensitively.
+	opts := quickOpts
+	opts.Seed = Seed(3)
+	opts.Lane = " VERIFY "
+	cheap, err := m.Submit(Request{Circuit: "analytic", Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cheap.Status().Lane; got != LaneVerify {
+		t.Errorf("optimize job with options.lane=verify: lane = %q, want %q", got, LaneVerify)
+	}
+
+	opts.Lane = "bulk"
+	if _, err := m.Submit(Request{Circuit: "analytic", Options: opts}); err == nil ||
+		!strings.Contains(err.Error(), "unknown lane") {
+		t.Errorf("bogus lane: err = %v, want unknown-lane rejection", err)
+	}
+}
+
+// The lane knob must not perturb the content hash of lane-less requests:
+// RunOptions without a lane marshals without the field, so every
+// pre-lane cache entry and journaled request stays reachable.
+func TestLaneOmittedFromWireEncoding(t *testing.T) {
+	blob, err := json.Marshal(quickOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "lane") {
+		t.Fatalf("lane-less options marshal mentions lane: %s", blob)
+	}
+
+	with := Request{Circuit: "analytic", Options: quickOpts}
+	with.Options.Lane = LaneOptimize
+	without := Request{Circuit: "analytic", Options: quickOpts}
+	h1, err := with.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := without.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicit lane IS part of the hash (it is part of the request);
+	// only the unset lane must be encoding-invisible.
+	if h1 == h2 {
+		t.Error("explicit lane does not contribute to the request hash")
+	}
+}
+
+// The default 3:1 weighting drains three verifies per optimize but
+// never starves the heavy lane.
+func TestLaneWeightedRoundRobin(t *testing.T) {
+	clk := newFakeClock()
+	m := leaseManager(t, clk, Config{LeaseTTL: 30 * time.Second})
+
+	o1 := submitQuick(t, m, 1)
+	o2 := submitQuick(t, m, 2)
+	v1 := submitVerify(t, m, 3)
+	v2 := submitVerify(t, m, 4)
+	v3 := submitVerify(t, m, 5)
+	v4 := submitVerify(t, m, 6)
+
+	// Cycle [verify optimize verify verify]: the verify backlog drains
+	// 3x faster, yet an optimize claim lands every fourth slot.
+	want := []*Job{v1, o1, v2, v3, v4, o2}
+	for i, wj := range want {
+		lease, err := m.Claim("w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease == nil || lease.JobID != wj.ID() {
+			t.Fatalf("claim %d = %+v, want job %s", i, lease, wj.ID())
+		}
+		if lease.Lane != wj.Status().Lane {
+			t.Errorf("claim %d lease lane = %q, want %q", i, lease.Lane, wj.Status().Lane)
+		}
+	}
+	if extra, err := m.Claim("w1"); err != nil || extra != nil {
+		t.Fatalf("claim on drained queues = %+v, %v", extra, err)
+	}
+}
+
+func TestClaimLaneFilter(t *testing.T) {
+	clk := newFakeClock()
+	m := leaseManager(t, clk, Config{LeaseTTL: 30 * time.Second})
+
+	submitQuick(t, m, 1)
+	verify := submitVerify(t, m, 2)
+
+	// A lane-filtered claim skips the other lane even when the
+	// round-robin would prefer it.
+	lease, err := m.ClaimLane("w1", LaneVerify)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease == nil || lease.JobID != verify.ID() || lease.Lane != LaneVerify {
+		t.Fatalf("verify-filtered claim = %+v, want job %s", lease, verify.ID())
+	}
+	// The verify lane is now empty: a verify-only worker gets "nothing
+	// to do", not the queued optimize job.
+	if extra, err := m.ClaimLane("w1", LaneVerify); err != nil || extra != nil {
+		t.Fatalf("verify-filtered claim on empty lane = %+v, %v", extra, err)
+	}
+	if _, err := m.ClaimLane("w1", "bulk"); err == nil ||
+		!strings.Contains(err.Error(), "unknown lane") {
+		t.Errorf("bogus lane filter: err = %v, want unknown-lane rejection", err)
+	}
+	lease, err = m.ClaimLane("w1", LaneOptimize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease == nil || lease.Lane != LaneOptimize {
+		t.Fatalf("optimize-filtered claim = %+v", lease)
+	}
+}
+
+// A refused submission must not consume a job ID: the next accepted
+// job's sequence number is contiguous with the last accepted one.
+func TestQueueFullDoesNotBurnSeq(t *testing.T) {
+	m := testManager(t, Config{RemoteOnly: true, QueueSize: 1}, 0)
+
+	first := submitQuick(t, m, 1)
+	if first.ID() != "job-000001" {
+		t.Fatalf("first job ID = %s", first.ID())
+	}
+
+	_, err := m.Submit(Request{Circuit: "analytic", Options: func() RunOptions {
+		o := quickOpts
+		o.Seed = Seed(2)
+		return o
+	}()})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
+	}
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("err %T does not unwrap to *QueueFullError", err)
+	}
+	if qf.Lane != LaneOptimize || qf.Depth != 1 || qf.RetryAfter <= 0 {
+		t.Errorf("QueueFullError = %+v", qf)
+	}
+
+	// The full optimize lane does not block the verify lane, and the
+	// refused submission did not burn a sequence number.
+	verify := submitVerify(t, m, 3)
+	if verify.ID() != "job-000002" {
+		t.Errorf("post-rejection job ID = %s, want job-000002 (seq burned by refused submit?)",
+			verify.ID())
+	}
+	if got := verify.Status().Lane; got != LaneVerify {
+		t.Errorf("lane = %q, want %q", got, LaneVerify)
+	}
+}
+
+// When many leases expire in one sweep pass, the jobs requeue in submit
+// order — not in the map's random iteration order.
+func TestMassExpiryRequeuesInSubmitOrder(t *testing.T) {
+	clk := newFakeClock()
+	m := leaseManager(t, clk, Config{LeaseTTL: 30 * time.Second})
+
+	var ids []string
+	for seed := uint64(1); seed <= 5; seed++ {
+		ids = append(ids, submitQuick(t, m, seed).ID())
+	}
+	for i := 0; i < 5; i++ {
+		lease, err := m.Claim("w" + string(rune('0'+i)))
+		if err != nil || lease == nil {
+			t.Fatalf("claim %d = %+v, %v", i, lease, err)
+		}
+	}
+
+	clk.Advance(31 * time.Second)
+	m.sweep(clk.Now())
+
+	for i, want := range ids {
+		lease, err := m.Claim("w9")
+		if err != nil || lease == nil {
+			t.Fatalf("re-claim %d = %+v, %v", i, lease, err)
+		}
+		if lease.JobID != want {
+			t.Fatalf("re-claim %d = %s, want %s (mass expiry scrambled the queue)",
+				i, lease.JobID, want)
+		}
+	}
+}
+
+// Cancel returns the settled status itself: reading it back via Get
+// would race the retention sweep, which may evict the now-terminal job
+// between the two calls.
+func TestCancelReturnsSettledStatus(t *testing.T) {
+	clk := newFakeClock()
+	m := leaseManager(t, clk, Config{LeaseTTL: 30 * time.Second, RetainFor: time.Hour})
+
+	job := submitQuick(t, m, 1)
+	st, err := m.Cancel(job.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled || st.ID != job.ID() || st.FinishedAt == nil {
+		t.Fatalf("Cancel status = %+v, want settled canceled snapshot", st)
+	}
+
+	// Push the terminal job past the retention TTL: it is evicted, and a
+	// second Cancel reports not-found instead of dereferencing nil.
+	clk.Advance(2 * time.Hour)
+	m.sweep(clk.Now())
+	if _, ok := m.Get(job.ID()); ok {
+		t.Fatal("evicted job still resolvable")
+	}
+	if _, err := m.Cancel(job.ID()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Cancel after eviction: err = %v, want ErrNotFound", err)
+	}
+}
+
+// Per-lane counters show up on the metrics page with the lane label.
+func TestLaneMetrics(t *testing.T) {
+	clk := newFakeClock()
+	m := leaseManager(t, clk, Config{LeaseTTL: 30 * time.Second})
+
+	submitVerify(t, m, 1)
+	submitQuick(t, m, 2)
+
+	var buf strings.Builder
+	m.Metrics().WriteText(&buf)
+	for _, want := range []string{
+		`specwised_lane_queued{lane="verify"} 1`,
+		`specwised_lane_queued{lane="optimize"} 1`,
+		`specwised_lane_done{lane="verify"} 0`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+
+	lease, err := m.ClaimLane("w1", LaneVerify)
+	if err != nil || lease == nil {
+		t.Fatalf("claim = %+v, %v", lease, err)
+	}
+	if err := m.Complete(lease.JobID, lease.LeaseID, &Result{Kind: KindVerify}); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	m.Metrics().WriteText(&buf)
+	for _, want := range []string{
+		`specwised_lane_queued{lane="verify"} 0`,
+		`specwised_lane_done{lane="verify"} 1`,
+		`specwised_lane_wait_seconds_total{lane="verify"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+// The journal carries the lane and recovery restores it; pre-lane
+// journals (no lane field) re-derive the lane from the request.
+func TestLaneSurvivesRecordRoundTrip(t *testing.T) {
+	rec := Record{Kind: RecSubmit, Job: "job-000001", Lane: LaneVerify}
+	blob, err := json.Marshal(&rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"lane":"verify"`) {
+		t.Errorf("submit record does not journal the lane: %s", blob)
+	}
+	// Pre-lane journal: the field is absent and decodes to "".
+	var old Record
+	if err := json.Unmarshal([]byte(`{"k":1,"job":"job-000001"}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	if old.Lane != "" {
+		t.Errorf("pre-lane record decoded lane %q", old.Lane)
+	}
+	req := Request{Kind: KindVerify, Circuit: "analytic"}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := req.lane(); got != LaneVerify {
+		t.Errorf("re-derived lane = %q, want %q", got, LaneVerify)
+	}
+}

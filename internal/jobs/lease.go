@@ -32,23 +32,36 @@ type Lease struct {
 	// key, so sweep members claimed by the same worker reuse each
 	// other's simulations. Older workers ignore the field.
 	ProblemHash string `json:"problemHash,omitempty"`
+	// Lane is the priority lane the job was queued in. Older workers
+	// ignore the field.
+	Lane string `json:"lane,omitempty"`
 }
 
-// Claim hands the oldest queued job to a remote worker under a fresh
-// lease. It returns (nil, nil) when no job is queued — the worker polls
-// again later. The claimed job transitions to StateRunning exactly as a
-// locally picked job would.
+// Claim hands the next queued job (weighted round-robin across the
+// priority lanes) to a remote worker under a fresh lease. It returns
+// (nil, nil) when no job is queued — the worker polls again later.
 func (m *Manager) Claim(worker string) (*Lease, error) {
+	return m.ClaimLane(worker, "")
+}
+
+// ClaimLane is Claim with a lane filter: a non-empty lane restricts the
+// pick to that lane's queue, so a fleet can dedicate workers to keeping
+// verify traffic flowing under heavy optimize load. The claimed job
+// transitions to StateRunning exactly as a locally picked job would.
+func (m *Manager) ClaimLane(worker, lane string) (*Lease, error) {
 	if err := m.ctx.Err(); err != nil {
 		return nil, ErrClosed
 	}
 	if worker == "" {
 		return nil, fmt.Errorf("jobs: worker name required")
 	}
+	if lane != "" && !ValidLane(lane) {
+		return nil, fmt.Errorf("jobs: unknown lane %q (want %q or %q)", lane, LaneVerify, LaneOptimize)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		job := m.takeLocked()
+		job := m.takeLocked(lane)
 		if job == nil {
 			return nil, nil
 		}
@@ -80,7 +93,9 @@ func (m *Manager) Claim(worker string) (*Lease, error) {
 			TTLSeconds:  m.cfg.LeaseTTL.Seconds(),
 			Request:     job.req,
 			ProblemHash: job.problemHash,
+			Lane:        job.lane,
 		}
+		job.notifyLocked()
 		job.mu.Unlock()
 		m.metrics.queued.Add(-1)
 		m.metrics.running.Add(1)

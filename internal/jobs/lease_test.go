@@ -211,7 +211,7 @@ func TestCancelLeasedJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Cancel(job.ID()); err != nil {
+	if _, err := m.Cancel(job.ID()); err != nil {
 		t.Fatal(err)
 	}
 	if st := job.State(); st != StateCanceled {

@@ -31,6 +31,25 @@ var (
 	ErrLeaseLost = errors.New("jobs: lease expired or superseded")
 )
 
+// QueueFullError is the admission-control rejection: the request's lane
+// is at its bounded depth. It carries what the HTTP layer needs to
+// answer 429 honestly — which lane, how deep, and a Retry-After
+// computed from the lane's recent drain rate instead of a hardcoded
+// guess. errors.Is(err, ErrQueueFull) keeps matching it.
+type QueueFullError struct {
+	Lane       string
+	Depth      int
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("jobs: %s lane queue full (%d queued; retry in %s)", e.Lane, e.Depth, e.RetryAfter)
+}
+
+// Is keeps the sentinel contract: callers match the lane-aware
+// rejection with errors.Is(err, ErrQueueFull).
+func (e *QueueFullError) Is(target error) bool { return target == ErrQueueFull }
+
 // Config sizes the manager.
 type Config struct {
 	// Workers is the number of concurrent in-process optimizer workers
@@ -39,8 +58,17 @@ type Config struct {
 	// RemoteOnly disables the in-process worker pool entirely: every job
 	// must be claimed by a remote pull-worker over the lease protocol.
 	RemoteOnly bool
-	// QueueSize bounds the number of jobs waiting to run (default 64).
+	// QueueSize bounds the number of jobs waiting to run in each lane
+	// (default 64). LaneQueueSize overrides it per lane.
 	QueueSize int
+	// LaneWeights sets each lane's share of the weighted-round-robin
+	// drain order (default verify:3, optimize:1 — three quick verifies
+	// for every heavy optimize when both lanes hold work). Weights below
+	// 1 are lifted to 1, so no lane can be configured into starvation.
+	LaneWeights map[string]int
+	// LaneQueueSize overrides QueueSize for individual lanes; zero or
+	// missing entries fall back to QueueSize.
+	LaneQueueSize map[string]int
 	// CacheSize caps the number of completed results kept for
 	// hash-identical resubmissions; the least recently used entry is
 	// evicted past the cap (default 128, negative disables caching).
@@ -124,6 +152,9 @@ func (c *Config) defaults() {
 	if c.QueueSize <= 0 {
 		c.QueueSize = 64
 	}
+	if c.LaneWeights == nil {
+		c.LaneWeights = map[string]int{LaneVerify: 3, LaneOptimize: 1}
+	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 128
 	}
@@ -185,9 +216,14 @@ type Manager struct {
 	down         atomic.Bool       // Close/Shutdown already ran
 	storeErrOnce sync.Once         // log store degradation once, not per record
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	pending *list.List               // of *Job, FIFO; only StateQueued jobs
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// lanes holds the per-priority pending queues (FIFO of *Job, only
+	// StateQueued jobs); cycle is the weight-expanded lane pick order and
+	// rrPos the rotating cursor into it (see takeLocked).
+	lanes   map[string]*laneQueue
+	cycle   []string
+	rrPos   int
 	order   *list.List               // of retained: terminal jobs in finish order
 	cache   map[string]*list.Element // hash → element in lru
 	lru     *list.List               // of *cacheEntry, most recent first
@@ -219,6 +255,61 @@ type retained struct {
 	finished time.Time
 }
 
+// drainWindow sizes the per-lane ring of recent drain timestamps the
+// Retry-After estimate is derived from.
+const drainWindow = 16
+
+// laneQueue is one priority lane: a bounded FIFO of queued jobs plus
+// the drain history that prices admission rejections. All fields are
+// guarded by Manager.mu.
+type laneQueue struct {
+	name    string
+	pending *list.List // of *Job
+	limit   int        // admission bound (QueueSize / LaneQueueSize)
+	weight  int        // share of the round-robin cycle
+
+	// drains is a ring of the most recent dequeue times; drainN counts
+	// total drains ever, so drains[drainN%drainWindow] is the slot the
+	// next drain overwrites (i.e. the oldest sample once the ring is
+	// full).
+	drains [drainWindow]time.Time
+	drainN int
+}
+
+// noteDrain records a dequeue for the Retry-After estimate.
+func (lq *laneQueue) noteDrain(now time.Time) {
+	lq.drains[lq.drainN%drainWindow] = now
+	lq.drainN++
+}
+
+// retryAfter estimates how long a rejected client should back off: the
+// lane's mean inter-drain interval over the recorded window (the
+// expected time until the full queue frees one slot), clamped to
+// [1s, 5m]. With fewer than two samples there is no rate to speak of,
+// so a flat 2s stands in.
+func (lq *laneQueue) retryAfter(now time.Time) time.Duration {
+	n := lq.drainN
+	if n > drainWindow {
+		n = drainWindow
+	}
+	if n < 2 {
+		return 2 * time.Second
+	}
+	newest := lq.drains[(lq.drainN-1)%drainWindow]
+	oldest := lq.drains[lq.drainN%drainWindow]
+	if lq.drainN <= drainWindow {
+		oldest = lq.drains[0]
+	}
+	d := newest.Sub(oldest) / time.Duration(n-1)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
 // New starts a manager with cfg.Workers workers. Call Close to stop.
 // It panics if recovery from cfg.Store fails; configurations with a
 // persistent store should prefer Open and handle the error.
@@ -245,12 +336,40 @@ func Open(cfg Config) (*Manager, error) {
 		stop:       stop,
 		wake:       make(chan struct{}, 1),
 		jobs:       make(map[string]*Job),
-		pending:    list.New(),
+		lanes:      make(map[string]*laneQueue),
 		order:      list.New(),
 		cache:      make(map[string]*list.Element),
 		lru:        list.New(),
 		batches:    make(map[string]*Batch),
 		batchOrder: list.New(),
+	}
+	// Build the lane queues and the weight-expanded pick cycle. The cycle
+	// interleaves lanes round by round (verify:3 optimize:1 expands to
+	// [verify optimize verify verify]) so the heavy lane's turns spread
+	// out instead of bunching at the cycle edge.
+	weights := make(map[string]int, len(Lanes()))
+	for _, name := range Lanes() {
+		w := cfg.LaneWeights[name]
+		if w < 1 {
+			w = 1
+		}
+		weights[name] = w
+		limit := cfg.QueueSize
+		if v := cfg.LaneQueueSize[name]; v > 0 {
+			limit = v
+		}
+		m.lanes[name] = &laneQueue{name: name, pending: list.New(), limit: limit, weight: w}
+		m.metrics.laneStat(name) // pre-create so /metrics always shows every lane
+	}
+	for remaining := true; remaining; {
+		remaining = false
+		for _, name := range Lanes() {
+			if weights[name] > 0 {
+				weights[name]--
+				m.cycle = append(m.cycle, name)
+				remaining = remaining || weights[name] > 0
+			}
+		}
 	}
 	m.store = cfg.Store
 	if m.store == nil {
@@ -283,7 +402,10 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	m.wg.Add(1)
 	go m.sweeper()
-	if m.pending.Len() > 0 {
+	m.mu.Lock()
+	backlog := m.pendingLenLocked() > 0
+	m.mu.Unlock()
+	if backlog {
 		m.wakeOne()
 	}
 	return m, nil
@@ -330,28 +452,47 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		return nil, err
 	}
 
+	lane := req.lane()
+
 	m.mu.Lock()
+	cacheEl, cacheHit := m.cache[hash]
+	if !cacheHit {
+		// Admission control, per lane, BEFORE the sequence number is
+		// allocated: a rejected submission must leave no trace — not even
+		// a burned job ID (the "nothing of the rejected submission is
+		// retained" contract). Cache hits bypass admission entirely; they
+		// never occupy a queue slot.
+		lq := m.lanes[lane]
+		if lq.pending.Len() >= lq.limit {
+			qerr := &QueueFullError{Lane: lane, Depth: lq.pending.Len(), RetryAfter: lq.retryAfter(m.now())}
+			m.mu.Unlock()
+			return nil, qerr
+		}
+	}
 	m.seq++
 	job := &Job{
 		id:          fmt.Sprintf("job-%06d", m.seq),
 		seq:         m.seq,
 		hash:        hash,
 		problemHash: probHash,
+		lane:        lane,
 		req:         req,
 		problem:     p,
 		enqueued:    m.now(),
 	}
-	if el, ok := m.cache[hash]; ok {
-		// Journal the submission before settling it from the cache, so
-		// replay sees the same submit→done sequence the caller was told.
-		if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: hash, Req: &job.req, Time: job.enqueued}); err != nil {
-			m.seq--
-			m.mu.Unlock()
-			return nil, fmt.Errorf("jobs: journaling submission: %w", err)
-		}
-		ent := el.Value.(*cacheEntry)
+	// Journal before acknowledging: a submission that cannot be made
+	// durable is refused, never silently volatile. For cache hits this
+	// lands ahead of the settlement, so replay sees the same submit→done
+	// sequence the caller was told.
+	if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: hash, Lane: lane, Req: &job.req, Time: job.enqueued}); err != nil {
+		m.seq--
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: journaling submission: %w", err)
+	}
+	if cacheHit {
+		ent := cacheEl.Value.(*cacheEntry)
 		warm := ent.warm
-		m.lru.MoveToFront(el)
+		m.lru.MoveToFront(cacheEl)
 		job.cached = true
 		job.result = ent.res
 		m.jobs[job.id] = job
@@ -367,21 +508,8 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 		}
 		return job, nil
 	}
-	if m.pending.Len() >= m.cfg.QueueSize {
-		// Full queue: reject before tracking anything — the rollback
-		// leaves no orphan entry in the store.
-		m.mu.Unlock()
-		return nil, ErrQueueFull
-	}
-	// Journal before acknowledging: a submission that cannot be made
-	// durable is refused, never silently volatile.
-	if err := m.journal(&Record{Kind: RecSubmit, Job: job.id, Seq: job.seq, Hash: hash, Req: &job.req, Time: job.enqueued}); err != nil {
-		m.seq--
-		m.mu.Unlock()
-		return nil, fmt.Errorf("jobs: journaling submission: %w", err)
-	}
 	job.state = StateQueued
-	job.queueEl = m.pending.PushBack(job)
+	m.enqueueLocked(job, false)
 	m.jobs[job.id] = job
 	m.metrics.jobsTracked.Store(int64(len(m.jobs)))
 	m.mu.Unlock()
@@ -415,16 +543,73 @@ func (m *Manager) wakeOne() {
 	}
 }
 
-// takeLocked pops the oldest queued job, or nil. Caller holds m.mu.
-func (m *Manager) takeLocked() *Job {
-	front := m.pending.Front()
+// takeLocked pops the next queued job, or nil. Caller holds m.mu.
+//
+// With lane == "" the pick walks the weight-expanded cycle from the
+// rotating cursor and is work-conserving: every lane appears in the
+// cycle (weights are lifted to at least 1), so whenever any lane holds
+// work a full scan finds it — no lane starves, and an idle lane's turns
+// are skipped rather than wasted. A named lane restricts the pop to
+// that queue (remote workers may claim lane-filtered).
+func (m *Manager) takeLocked(lane string) *Job {
+	if lane != "" {
+		return m.popLocked(m.lanes[lane])
+	}
+	for i := 0; i < len(m.cycle); i++ {
+		pos := (m.rrPos + i) % len(m.cycle)
+		if job := m.popLocked(m.lanes[m.cycle[pos]]); job != nil {
+			m.rrPos = (pos + 1) % len(m.cycle)
+			return job
+		}
+	}
+	return nil
+}
+
+// popLocked removes a lane's oldest queued job, settling the lane
+// gauges and the drain history. Caller holds m.mu.
+func (m *Manager) popLocked(lq *laneQueue) *Job {
+	if lq == nil {
+		return nil
+	}
+	front := lq.pending.Front()
 	if front == nil {
 		return nil
 	}
 	job := front.Value.(*Job)
-	m.pending.Remove(front)
+	lq.pending.Remove(front)
 	job.queueEl = nil
+	now := m.now()
+	lq.noteDrain(now)
+	ls := m.metrics.laneStat(lq.name)
+	ls.Queued.Store(int64(lq.pending.Len()))
+	if !job.queuedAt.IsZero() {
+		ls.WaitNanos.Add(int64(now.Sub(job.queuedAt)))
+		job.queuedAt = time.Time{}
+	}
 	return job
+}
+
+// enqueueLocked puts a queued job into its lane (front for requeues —
+// the job has waited longest — back for fresh submissions). Caller
+// holds m.mu.
+func (m *Manager) enqueueLocked(j *Job, front bool) {
+	lq := m.lanes[j.lane]
+	if front {
+		j.queueEl = lq.pending.PushFront(j)
+	} else {
+		j.queueEl = lq.pending.PushBack(j)
+	}
+	j.queuedAt = m.now()
+	m.metrics.laneStat(j.lane).Queued.Store(int64(lq.pending.Len()))
+}
+
+// pendingLenLocked sums the lane queue depths. Caller holds m.mu.
+func (m *Manager) pendingLenLocked() int {
+	n := 0
+	for _, lq := range m.lanes {
+		n += lq.pending.Len()
+	}
+	return n
 }
 
 // Get returns a job by ID. Terminal jobs evicted by the retention
@@ -460,17 +645,22 @@ func (m *Manager) Jobs() []Status {
 // Monte-Carlo samples at the finest); a remotely leased job has its
 // lease revoked, so the worker's next heartbeat or result post is
 // refused. Cancelling a terminal job is a no-op.
-func (m *Manager) Cancel(id string) error {
+//
+// The returned Status is the job's state as settled by this call,
+// snapshotted while the locks are still held: callers must use it
+// instead of a follow-up Get, which can miss — the retention sweep may
+// evict a just-cancelled terminal job at any moment.
+func (m *Manager) Cancel(id string) (Status, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
 	if !ok {
-		return ErrNotFound
+		return Status{}, ErrNotFound
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	m.cancelLocked(j)
-	return nil
+	return j.statusLocked(), nil
 }
 
 // cancelLocked applies the cancellation state machine to one job. Both
@@ -551,8 +741,8 @@ func (m *Manager) dequeue() *Job {
 		default:
 		}
 		m.mu.Lock()
-		job := m.takeLocked()
-		more := m.pending.Len() > 0
+		job := m.takeLocked("")
+		more := m.pendingLenLocked() > 0
 		m.mu.Unlock()
 		if job != nil {
 			if more {
@@ -598,29 +788,45 @@ func (m *Manager) sweeper() {
 func (m *Manager) sweep(now time.Time) {
 	requeued := false
 	m.mu.Lock()
+	// Collect first, then settle in sequence order: m.jobs is a map, and
+	// requeueing in its random iteration order would scramble the
+	// submit-order guarantee the recovery path documents whenever two
+	// leases expire in one pass. m.mu is held across both passes, so no
+	// job's state can move in between.
+	var expired []*Job
 	for _, j := range m.jobs {
 		j.mu.Lock()
 		if j.state == StateRunning && j.leaseID != "" && now.After(j.leaseDeadline) {
-			worker := j.worker
-			m.metrics.leaseExpiries.Add(1)
-			m.metrics.leasesActive.Add(-1)
-			m.metrics.workerStat(worker).Expiries.Add(1)
-			if j.requeues < m.cfg.MaxRetries {
-				j.requeues++
-				j.leaseID = ""
-				j.worker = ""
-				j.state = StateQueued
-				// Requeue at the front: the job has waited longest.
-				j.queueEl = m.pending.PushFront(j)
-				m.metrics.running.Add(-1)
-				m.metrics.queued.Add(1)
-				m.metrics.requeued.Add(1)
-				m.journal(&Record{Kind: RecRequeue, Job: j.id, Requeues: j.requeues, Attempts: j.attempts, Time: now}) //nolint:errcheck // degraded store: logged once
-				requeued = true
-			} else {
-				msg := fmt.Sprintf("lease expired (worker %q unresponsive) after %d attempts", worker, j.attempts)
-				m.finishLocked(j, StateFailed, msg)
-			}
+			expired = append(expired, j)
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(expired, func(i, k int) bool { return expired[i].seq < expired[k].seq })
+	// Walk descending so the PushFront requeues leave the lowest
+	// sequence number at the head of its lane — oldest job runs first.
+	for i := len(expired) - 1; i >= 0; i-- {
+		j := expired[i]
+		j.mu.Lock()
+		worker := j.worker
+		m.metrics.leaseExpiries.Add(1)
+		m.metrics.leasesActive.Add(-1)
+		m.metrics.workerStat(worker).Expiries.Add(1)
+		if j.requeues < m.cfg.MaxRetries {
+			j.requeues++
+			j.leaseID = ""
+			j.worker = ""
+			j.state = StateQueued
+			// Requeue at the front: the job has waited longest.
+			m.enqueueLocked(j, true)
+			m.metrics.running.Add(-1)
+			m.metrics.queued.Add(1)
+			m.metrics.requeued.Add(1)
+			m.journal(&Record{Kind: RecRequeue, Job: j.id, Requeues: j.requeues, Attempts: j.attempts, Time: now}) //nolint:errcheck // degraded store: logged once
+			j.notifyLocked()
+			requeued = true
+		} else {
+			msg := fmt.Sprintf("lease expired (worker %q unresponsive) after %d attempts", worker, j.attempts)
+			m.finishLocked(j, StateFailed, msg)
 		}
 		j.mu.Unlock()
 	}
@@ -646,8 +852,12 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 		j.started = j.finished
 	}
 	if j.queueEl != nil {
-		m.pending.Remove(j.queueEl)
+		if lq := m.lanes[j.lane]; lq != nil {
+			lq.pending.Remove(j.queueEl)
+			m.metrics.laneStat(j.lane).Queued.Store(int64(lq.pending.Len()))
+		}
 		j.queueEl = nil
+		j.queuedAt = time.Time{}
 	}
 	// Journal the settlement before the cache record it may cause, so
 	// replay settles the job first and the cache entry can reference it.
@@ -661,6 +871,7 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 	switch state {
 	case StateDone:
 		m.metrics.done.Add(1)
+		m.metrics.laneStat(j.lane).Done.Add(1)
 		if j.result != nil {
 			if j.result.Optimization != nil {
 				m.metrics.noteAlgoDone(j.result.Optimization)
@@ -679,6 +890,7 @@ func (m *Manager) finishLocked(j *Job, state State, errMsg string) {
 	} else {
 		m.order.PushBack(retained{job: j, finished: j.finished})
 	}
+	j.notifyLocked()
 	m.evictLocked(j.finished)
 }
 
@@ -721,6 +933,7 @@ func (m *Manager) run(job *Job) {
 	job.attempts++
 	job.started = m.now()
 	m.journal(&Record{Kind: RecStart, Job: job.id, Attempts: job.attempts, Time: job.started}) //nolint:errcheck // degraded store: logged once
+	job.notifyLocked()
 	job.mu.Unlock()
 	m.mu.Unlock()
 	m.metrics.queued.Add(-1)
@@ -743,10 +956,11 @@ func (m *Manager) run(job *Job) {
 			job.state = StateQueued
 			job.cancel = nil
 			job.started = time.Time{}
-			job.queueEl = m.pending.PushFront(job)
+			m.enqueueLocked(job, true)
 			m.metrics.running.Add(-1)
 			m.metrics.queued.Add(1)
 			m.journal(&Record{Kind: RecRequeue, Job: job.id, Requeues: job.requeues, Attempts: job.attempts, Time: m.now()}) //nolint:errcheck // degraded store: logged once
+			job.notifyLocked()
 		} else {
 			m.finishLocked(job, StateCanceled, "canceled")
 		}

@@ -63,6 +63,10 @@ type Metrics struct {
 	wmu         sync.Mutex
 	workerStats map[string]*WorkerStat
 
+	// Per-lane (priority queue) counters, keyed by lane name.
+	lnmu      sync.Mutex
+	laneStats map[string]*LaneStat
+
 	// Per-algorithm (search backend) counters over done optimize jobs,
 	// keyed by backend name; wherever a job ran — local pool, remote
 	// worker or the result cache — its settlement is attributed to the
@@ -191,6 +195,43 @@ func (m *Metrics) noteAlgoDone(opt *report.Result) {
 	as.Simulations.Add(opt.Simulations)
 }
 
+// LaneStat aggregates one priority lane's traffic: current queue depth,
+// jobs settled done, and the cumulative time jobs spent waiting in the
+// lane (total nanoseconds from enqueue to dequeue — divided by done
+// counts it yields the mean lane latency, the number the weighted
+// round-robin exists to keep low for the verify lane).
+type LaneStat struct {
+	Queued    atomic.Int64 // gauge
+	Done      atomic.Int64
+	WaitNanos atomic.Int64
+}
+
+// laneStat returns (creating on first use) the named lane's shard.
+func (m *Metrics) laneStat(name string) *LaneStat {
+	m.lnmu.Lock()
+	defer m.lnmu.Unlock()
+	if m.laneStats == nil {
+		m.laneStats = make(map[string]*LaneStat)
+	}
+	ls := m.laneStats[name]
+	if ls == nil {
+		ls = &LaneStat{}
+		m.laneStats[name] = ls
+	}
+	return ls
+}
+
+// LaneStats snapshots the per-lane shards, keyed by lane name.
+func (m *Metrics) LaneStats() map[string]*LaneStat {
+	m.lnmu.Lock()
+	defer m.lnmu.Unlock()
+	out := make(map[string]*LaneStat, len(m.laneStats))
+	for name, ls := range m.laneStats {
+		out[name] = ls
+	}
+	return out
+}
+
 // WorkerStat aggregates one remote worker's shard of the pull protocol.
 type WorkerStat struct {
 	Claims    atomic.Int64
@@ -300,6 +341,20 @@ func (m *Metrics) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "specwised_jobs_tracked %d\n", m.jobsTracked.Load())
 	fmt.Fprintf(w, "specwised_jobs_evicted_total %d\n", m.jobsEvicted.Load())
 	fmt.Fprintf(w, "specwised_jobs_requeued_total %d\n", m.requeued.Load())
+	m.lnmu.Lock()
+	laneNames := make([]string, 0, len(m.laneStats))
+	for name := range m.laneStats {
+		laneNames = append(laneNames, name)
+	}
+	sort.Strings(laneNames)
+	for _, name := range laneNames {
+		ls := m.laneStats[name]
+		fmt.Fprintf(w, "specwised_lane_queued{lane=%q} %d\n", name, ls.Queued.Load())
+		fmt.Fprintf(w, "specwised_lane_done{lane=%q} %d\n", name, ls.Done.Load())
+		fmt.Fprintf(w, "specwised_lane_wait_seconds_total{lane=%q} %.6f\n", name,
+			time.Duration(ls.WaitNanos.Load()).Seconds())
+	}
+	m.lnmu.Unlock()
 	fmt.Fprintf(w, "specwised_batches_total %d\n", m.batches.Load())
 	fmt.Fprintf(w, "specwised_batch_members_total %d\n", m.batchMembers.Load())
 	fmt.Fprintf(w, "specwised_batch_members_deduped_total %d\n", m.batchDeduped.Load())

@@ -94,8 +94,13 @@ func (m *Manager) applyRecord(rec *Record) error {
 			hash:     rec.Hash,
 			req:      *rec.Req,
 			batch:    rec.Batch,
+			lane:     rec.Lane,
 			state:    StateQueued,
 			enqueued: rec.Time,
+		}
+		if j.lane == "" {
+			// Pre-lane journal: classify exactly as submit would have.
+			j.lane = j.req.lane()
 		}
 		// The problem hash is derived, never journaled; recompute it so
 		// recovered jobs keep sharing the evaluation cache. A request that
@@ -430,7 +435,9 @@ func (m *Manager) recover() error {
 	}
 	sort.Slice(pend, func(i, k int) bool { return pend[i].seq < pend[k].seq })
 	for _, j := range pend {
-		j.queueEl = m.pending.PushBack(j)
+		// Sequence-ordered PushBack per lane reproduces each lane's
+		// original submit order.
+		m.enqueueLocked(j, false)
 	}
 
 	// The cache replay honored every eviction record; a shrunk CacheSize
@@ -493,7 +500,7 @@ func (m *Manager) snapshotRecordsLocked() []*Record {
 	for _, j := range jobs {
 		j.mu.Lock()
 		req := j.req
-		recs = append(recs, &Record{Kind: RecSubmit, Job: j.id, Seq: j.seq, Hash: j.hash, Req: &req, Batch: j.batch, Time: j.enqueued})
+		recs = append(recs, &Record{Kind: RecSubmit, Job: j.id, Seq: j.seq, Hash: j.hash, Req: &req, Batch: j.batch, Lane: j.lane, Time: j.enqueued})
 		switch j.state {
 		case StateQueued:
 			if j.requeues > 0 || j.attempts > 0 {

@@ -82,6 +82,10 @@ type Record struct {
 	Hash string `json:"hash,omitempty"`
 	// Req is the full submission (RecSubmit).
 	Req *Request `json:"req,omitempty"`
+	// Lane is the priority lane the job was classified into at submit
+	// (RecSubmit). Absent on pre-lane journals; replay re-derives it
+	// from the request.
+	Lane string `json:"lane,omitempty"`
 	// Worker names the executing remote worker (RecLease, settlements).
 	Worker string `json:"worker,omitempty"`
 	// Lease is the granted lease ID (RecLease, RecHeartbeat).

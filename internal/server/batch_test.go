@@ -144,7 +144,7 @@ func TestBatchErrorPathsOverHTTP(t *testing.T) {
 		{"over capacity", `{"jobs": [
 			{"circuit": "ota", "options": {"seed": 1}},
 			{"circuit": "ota", "options": {"seed": 2}}
-		]}`, http.StatusServiceUnavailable},
+		]}`, http.StatusTooManyRequests},
 	} {
 		if code, _ := postBatch(t, ts, tc.body); code != tc.want {
 			t.Errorf("%s: code = %d, want %d", tc.name, code, tc.want)

@@ -1,9 +1,12 @@
 // Package server exposes the jobs subsystem over an HTTP JSON API — the
 // service face of the yield optimizer. Client endpoints:
 //
-//	POST   /v1/jobs             submit a job (202; body echoes id + state)
+//	POST   /v1/jobs             submit a job (202; body echoes id + state;
+//	                            429 + Retry-After when the lane is full)
 //	GET    /v1/jobs             list job statuses, newest first
 //	GET    /v1/jobs/{id}        status + live progress trace
+//	GET    /v1/jobs/{id}/events server-sent-events stream: recorded progress
+//	                            replays, live updates tail until terminal
 //	GET    /v1/jobs/{id}/result final report (409 until the job is done)
 //	DELETE /v1/jobs/{id}        cancel (queued: immediate; running: via context/lease)
 //	POST   /v1/batches          submit a batch of jobs atomically (202; 200 when all cached)
@@ -17,7 +20,7 @@
 // guarded by a bearer token when the server is built with
 // WithWorkerToken):
 //
-//	POST /v1/worker/claim               {"worker": "name"} → 200 lease | 204 no work
+//	POST /v1/worker/claim               {"worker": "name", "lane": "verify"?} → 200 lease | 204 no work
 //	POST /v1/worker/jobs/{id}/heartbeat {"lease": "..."} → 200 {"deadline": ...}
 //	POST /v1/worker/jobs/{id}/result    {"lease": "...", "result": {...}}
 //	POST /v1/worker/jobs/{id}/fail      {"lease": "...", "error": "..."}
@@ -40,18 +43,33 @@ import (
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"specwise/internal/jobs"
 )
 
+// Request-body caps (see decodeBody): submissions may carry inline
+// netlists, so their cap is generous; lease-protocol bodies are tiny
+// except for result posts, which carry a full report.
+const (
+	maxJobBody    = 32 << 20 // one submission, possibly with an inline spec
+	maxBatchBody  = 64 << 20 // a whole batch of submissions
+	maxResultBody = 16 << 20 // a worker's result report
+	maxLeaseBody  = 1 << 20  // claim, heartbeat and fail posts
+)
+
 // Server is the HTTP face of a jobs.Manager.
 type Server struct {
-	manager     *jobs.Manager
-	mux         *http.ServeMux
-	workerToken string
+	manager      *jobs.Manager
+	mux          *http.ServeMux
+	workerToken  string
+	sseHeartbeat time.Duration
 }
 
 // Option customizes a Server.
@@ -64,15 +82,26 @@ func WithWorkerToken(token string) Option {
 	return func(s *Server) { s.workerToken = token }
 }
 
+// WithSSEHeartbeat sets the idle-comment cadence on the
+// /v1/jobs/{id}/events stream (default 15s; tests shorten it).
+func WithSSEHeartbeat(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.sseHeartbeat = d
+		}
+	}
+}
+
 // New builds the handler tree over a running manager.
 func New(m *jobs.Manager, opts ...Option) *Server {
-	s := &Server{manager: m, mux: http.NewServeMux()}
+	s := &Server{manager: m, mux: http.NewServeMux(), sseHeartbeat: 15 * time.Second}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs", s.list)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.events)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.result)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancel)
 	s.mux.HandleFunc("POST /v1/batches", s.submitBatch)
@@ -111,6 +140,47 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, errorBody{Error: msg})
 }
 
+// decodeBody parses a JSON request body under a size cap, answering 413
+// for bodies past the cap (a multi-GB inline spec must not OOM the
+// daemon) and 400 for malformed JSON. strict rejects unknown fields —
+// on for client submissions, off for the worker protocol so newer
+// workers can extend their posts. Returns false once the response is
+// written.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, strict bool, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// writeQueueFull answers an admission-control rejection: 429 with a
+// Retry-After computed from the lane's recent drain rate. A plain
+// ErrQueueFull without lane context (not produced today) falls back to
+// one second.
+func writeQueueFull(w http.ResponseWriter, err error) {
+	secs := 1
+	var qf *jobs.QueueFullError
+	if errors.As(err, &qf) {
+		if s := int(math.Ceil(qf.RetryAfter.Seconds())); s > secs {
+			secs = s
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests, err.Error())
+}
+
 // submitResponse acknowledges a submission.
 type submitResponse struct {
 	ID     string     `json:"id"`
@@ -120,18 +190,14 @@ type submitResponse struct {
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req jobs.Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	if !decodeBody(w, r, maxJobBody, true, &req) {
 		return
 	}
 	job, err := s.manager.Submit(req)
 	switch {
 	case err == nil:
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeQueueFull(w, err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -160,18 +226,14 @@ type batchRequest struct {
 
 func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
 	var req batchRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	if !decodeBody(w, r, maxBatchBody, true, &req) {
 		return
 	}
 	batch, err := s.manager.SubmitBatch(req.Jobs)
 	switch {
 	case err == nil:
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeQueueFull(w, err)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -228,6 +290,81 @@ func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// writeSSE emits one server-sent event frame. The id field is the
+// replay cursor (the progress index) and is omitted on state frames,
+// which are snapshots rather than log entries.
+func writeSSE(w io.Writer, id, event string, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	if id != "" {
+		fmt.Fprintf(w, "id: %s\n", id) //nolint:errcheck
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob) //nolint:errcheck
+}
+
+// events streams a job's progress trace as server-sent events: every
+// recorded progress entry is replayed as a "progress" event (id = its
+// index in the trace, so Last-Event-ID resumes without duplicates),
+// state transitions are emitted as "state" events with the progress
+// trace stripped, and the stream ends after the terminal state event.
+// Idle streams carry ": heartbeat" comments so intermediaries do not
+// reap the connection.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	next := 0
+	if last := r.Header.Get("Last-Event-ID"); last != "" {
+		if n, err := strconv.Atoi(last); err == nil && n >= 0 {
+			next = n + 1
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	hb := time.NewTicker(s.sseHeartbeat)
+	defer hb.Stop()
+	lastState := jobs.State("")
+	for {
+		// Arm the change channel before snapshotting: a change that lands
+		// between Status and the select closes the already-held channel,
+		// so no wakeup is lost.
+		ch := job.Changed()
+		st := job.Status()
+		for ; next < len(st.Progress); next++ {
+			writeSSE(w, strconv.Itoa(next), "progress", st.Progress[next])
+		}
+		if st.State != lastState {
+			lastState = st.State
+			slim := st
+			slim.Progress = nil
+			writeSSE(w, "", "state", slim)
+		}
+		fl.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ch:
+		case <-hb.C:
+			io.WriteString(w, ": heartbeat\n\n") //nolint:errcheck
+			fl.Flush()
+		}
+	}
+}
+
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.manager.Get(r.PathValue("id"))
 	if !ok {
@@ -250,14 +387,15 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	err := s.manager.Cancel(id)
-	if errors.Is(err, jobs.ErrNotFound) {
+	// The status comes from Cancel itself: a follow-up Get would race the
+	// retention sweep, which may evict the now-terminal job between the
+	// two calls and leave a nil job to dereference.
+	st, err := s.manager.Cancel(r.PathValue("id"))
+	if err != nil {
 		writeError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	job, _ := s.manager.Get(id)
-	writeJSON(w, http.StatusOK, job.Status())
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -285,22 +423,24 @@ func (s *Server) workerAuth(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// claimRequest identifies the polling worker.
+// claimRequest identifies the polling worker. Lane optionally restricts
+// the claim to one priority lane ("verify" or "optimize"); empty claims
+// from any lane under the weighted round-robin.
 type claimRequest struct {
 	Worker string `json:"worker"`
+	Lane   string `json:"lane,omitempty"`
 }
 
 func (s *Server) workerClaim(w http.ResponseWriter, r *http.Request) {
 	var req claimRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	if !decodeBody(w, r, maxLeaseBody, false, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Worker) == "" {
 		writeError(w, http.StatusBadRequest, "worker name required")
 		return
 	}
-	lease, err := s.manager.Claim(req.Worker)
+	lease, err := s.manager.ClaimLane(req.Worker, req.Lane)
 	switch {
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -325,11 +465,10 @@ type heartbeatResponse struct {
 	Deadline time.Time `json:"deadline"`
 }
 
-// decodeLease parses the common worker POST body.
-func decodeLease(w http.ResponseWriter, r *http.Request) (leaseBody, bool) {
+// decodeLease parses the common worker POST body under the given cap.
+func decodeLease(w http.ResponseWriter, r *http.Request, limit int64) (leaseBody, bool) {
 	var body leaseBody
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+	if !decodeBody(w, r, limit, false, &body) {
 		return body, false
 	}
 	if body.Lease == "" {
@@ -352,7 +491,7 @@ func writeLeaseErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) workerHeartbeat(w http.ResponseWriter, r *http.Request) {
-	body, ok := decodeLease(w, r)
+	body, ok := decodeLease(w, r, maxLeaseBody)
 	if !ok {
 		return
 	}
@@ -365,7 +504,7 @@ func (s *Server) workerHeartbeat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) workerResult(w http.ResponseWriter, r *http.Request) {
-	body, ok := decodeLease(w, r)
+	body, ok := decodeLease(w, r, maxResultBody)
 	if !ok {
 		return
 	}
@@ -381,7 +520,7 @@ func (s *Server) workerResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) workerFail(w http.ResponseWriter, r *http.Request) {
-	body, ok := decodeLease(w, r)
+	body, ok := decodeLease(w, r, maxLeaseBody)
 	if !ok {
 		return
 	}

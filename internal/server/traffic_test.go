@@ -1,0 +1,285 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"specwise/internal/jobs"
+	"specwise/internal/server"
+)
+
+// A full lane answers 429 with a computed Retry-After, and the other
+// lane keeps accepting: admission control is per lane, not global.
+func TestSubmitQueueFullRetryAfter(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{RemoteOnly: true, QueueSize: 1})
+
+	if code, _ := postJob(t, ts, otaBody); code != http.StatusAccepted {
+		t.Fatalf("first submit: code %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(
+		`{"circuit": "ota", "options": {"modelSamples": 500, "verifySamples": 60, "maxIterations": 1, "seed": 8}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: code %d, want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// The verify lane has its own queue: still open for business.
+	if code, _ := postJob(t, ts, `{"kind": "verify", "circuit": "ota",
+	  "options": {"verifySamples": 60, "seed": 7}}`); code != http.StatusAccepted {
+		t.Errorf("verify submit while optimize lane full: code %d, want 202", code)
+	}
+}
+
+// sseEvent is one parsed server-sent event frame.
+type sseEvent struct {
+	id, event, data string
+}
+
+// readSSE parses frames (and counts heartbeat comments) off the wire
+// until the stream closes or maxEvents frames arrived.
+func readSSE(t *testing.T, r *bufio.Reader, maxEvents int, onFrame func(sseEvent) bool) (frames []sseEvent, heartbeats int) {
+	t.Helper()
+	var cur sseEvent
+	for len(frames) < maxEvents {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return frames, heartbeats
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+				if onFrame != nil && !onFrame(cur) {
+					return frames, heartbeats
+				}
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, ": heartbeat"):
+			heartbeats++
+		case strings.HasPrefix(line, "id: "):
+			cur.id = line[len("id: "):]
+		case strings.HasPrefix(line, "event: "):
+			cur.event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			cur.data = line[len("data: "):]
+		}
+	}
+	return frames, heartbeats
+}
+
+// The SSE stream replays the progress trace, tails live updates, and
+// ends with the terminal state event.
+func TestEventsStreamToTerminal(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{Workers: 1})
+
+	code, ack := postJob(t, ts, otaBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	id := ack["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: code %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	frames, _ := readSSE(t, bufio.NewReader(resp.Body), 10000, nil)
+	var progress int
+	var lastState string
+	var lastProgressID int
+	for _, f := range frames {
+		switch f.event {
+		case "progress":
+			// IDs are the replay cursor: strictly sequential from 0.
+			n, err := strconv.Atoi(f.id)
+			if err != nil || (progress > 0 && n != lastProgressID+1) || (progress == 0 && n != 0) {
+				t.Fatalf("progress id %q after %d (last %d)", f.id, progress, lastProgressID)
+			}
+			lastProgressID = n
+			progress++
+		case "state":
+			var st jobs.Status
+			if err := json.Unmarshal([]byte(f.data), &st); err != nil {
+				t.Fatalf("state frame %q: %v", f.data, err)
+			}
+			if len(st.Progress) != 0 {
+				t.Error("state frame carries the progress trace (should be stripped)")
+			}
+			lastState = string(st.State)
+		}
+	}
+	if progress == 0 {
+		t.Error("stream carried no progress events")
+	}
+	if lastState != string(jobs.StateDone) {
+		t.Errorf("final state event = %q, want done (frames: %d)", lastState, len(frames))
+	}
+
+	// Resuming with Last-Event-ID replays only the tail.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", strconv.Itoa(lastProgressID-1))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	tail, _ := readSSE(t, bufio.NewReader(resp2.Body), 10000, nil)
+	var tailProgress []string
+	for _, f := range tail {
+		if f.event == "progress" {
+			tailProgress = append(tailProgress, f.id)
+		}
+	}
+	if len(tailProgress) != 1 || tailProgress[0] != strconv.Itoa(lastProgressID) {
+		t.Errorf("resumed stream replayed ids %v, want just [%d]", tailProgress, lastProgressID)
+	}
+}
+
+// Idle streams carry heartbeat comments so proxies keep the connection,
+// and a cancellation terminates the stream with a canceled state event.
+func TestEventsHeartbeatAndCancel(t *testing.T) {
+	m := jobs.New(jobs.Config{RemoteOnly: true})
+	ts := httptest.NewServer(server.New(m, server.WithSSEHeartbeat(20*time.Millisecond)))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Close()
+	})
+
+	code, ack := postJob(t, ts, otaBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	id := ack["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	r := bufio.NewReader(resp.Body)
+
+	// The job is queued forever (no workers): after the initial state
+	// frame the stream idles on heartbeats.
+	deadline := time.Now().Add(5 * time.Second)
+	heartbeats := 0
+	sawQueued := false
+	for heartbeats == 0 || !sawQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("no heartbeat on idle stream (queued=%v, hb=%d)", sawQueued, heartbeats)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream closed early: %v", err)
+		}
+		if strings.HasPrefix(line, ": heartbeat") {
+			heartbeats++
+		}
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"state":"queued"`) {
+			sawQueued = true
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+
+	// The watcher wakes on the cancel, emits the terminal state and ends
+	// the stream.
+	sawCanceled := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"state":"canceled"`) {
+			sawCanceled = true
+		}
+	}
+	if !sawCanceled {
+		t.Error("stream ended without a canceled state event")
+	}
+}
+
+func TestEventsUnknownJob(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Config{RemoteOnly: true})
+	resp, err := http.Get(ts.URL + "/v1/jobs/job-999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("events for unknown job: code %d, want 404", resp.StatusCode)
+	}
+}
+
+// Oversized request bodies bounce with 413 instead of being buffered.
+func TestOversizedBodyRejected(t *testing.T) {
+	ts, _ := newRemoteServer(t, jobs.Config{})
+	body := `{"worker":"` + strings.Repeat("a", 1<<20) + `"}`
+	code := workerPost(t, ts, "/v1/worker/claim", testToken, body, nil)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized claim body: code %d, want 413", code)
+	}
+	// A sane claim still works.
+	if code := workerPost(t, ts, "/v1/worker/claim", testToken, `{"worker":"w1"}`, nil); code != http.StatusNoContent {
+		t.Errorf("claim on empty queue: code %d, want 204", code)
+	}
+}
+
+// Workers can restrict claims to one lane over the wire; the lease
+// echoes the lane.
+func TestClaimLaneOverHTTP(t *testing.T) {
+	ts, _ := newRemoteServer(t, jobs.Config{})
+
+	if code, _ := postJob(t, ts, otaBody); code != http.StatusAccepted {
+		t.Fatal("optimize submit failed")
+	}
+	code, ack := postJob(t, ts, `{"kind": "verify", "circuit": "ota",
+	  "options": {"verifySamples": 60, "seed": 7}}`)
+	if code != http.StatusAccepted {
+		t.Fatal("verify submit failed")
+	}
+	verifyID := ack["id"].(string)
+
+	var lease jobs.Lease
+	if code := workerPost(t, ts, "/v1/worker/claim", testToken,
+		`{"worker":"w1","lane":"verify"}`, &lease); code != http.StatusOK {
+		t.Fatalf("lane claim: code %d", code)
+	}
+	if lease.JobID != verifyID || lease.Lane != jobs.LaneVerify {
+		t.Fatalf("lane-filtered lease = %+v, want verify job %s", lease, verifyID)
+	}
+	// Lane drained: 204 even though the optimize lane has work.
+	if code := workerPost(t, ts, "/v1/worker/claim", testToken,
+		`{"worker":"w1","lane":"verify"}`, nil); code != http.StatusNoContent {
+		t.Errorf("claim on drained lane: code %d, want 204", code)
+	}
+	if code := workerPost(t, ts, "/v1/worker/claim", testToken,
+		`{"worker":"w1","lane":"bulk"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("bogus lane claim: code %d, want 400", code)
+	}
+}

@@ -34,6 +34,11 @@ type Config struct {
 	Token string
 	// Name identifies this worker in leases and per-shard metrics.
 	Name string
+	// Lane restricts claims to one priority lane ("verify" or
+	// "optimize"); empty claims from any lane under the server's
+	// weighted round-robin. Lets operators dedicate cheap machines to
+	// the interactive verify lane.
+	Lane string
 	// Poll is the idle wait between claim attempts when the queue is
 	// empty (default 500ms).
 	Poll time.Duration
@@ -280,6 +285,7 @@ func report(ctx context.Context, cfg *Config, lease *jobs.Lease, verb string, bo
 // leasePost is the uniform worker POST body (heartbeat/result/fail).
 type leasePost struct {
 	Worker string       `json:"worker,omitempty"`
+	Lane   string       `json:"lane,omitempty"`
 	Lease  string       `json:"lease,omitempty"`
 	Result *jobs.Result `json:"result,omitempty"`
 	Error  string       `json:"error,omitempty"`
@@ -288,7 +294,7 @@ type leasePost struct {
 // claim asks for work: (nil, nil) means an empty queue.
 func claim(ctx context.Context, cfg *Config) (*jobs.Lease, error) {
 	var lease jobs.Lease
-	status, err := post(ctx, cfg, "/v1/worker/claim", leasePost{Worker: cfg.Name}, &lease)
+	status, err := post(ctx, cfg, "/v1/worker/claim", leasePost{Worker: cfg.Name, Lane: cfg.Lane}, &lease)
 	switch {
 	case err != nil:
 		return nil, err
